@@ -1,0 +1,290 @@
+package iroram
+
+// The benchmark harness: one testing.B benchmark per paper table/figure
+// (regenerating it at reduced scale and reporting its headline metric via
+// b.ReportMetric), plus microbenchmarks of the core primitives. Full-scale
+// regeneration is cmd/experiments; EXPERIMENTS.md records the
+// paper-vs-measured values at the default scale.
+
+import (
+	"bytes"
+
+	"testing"
+
+	"iroram/internal/block"
+	"iroram/internal/config"
+	"iroram/internal/core"
+	"iroram/internal/dram"
+	"iroram/internal/rng"
+	"iroram/internal/trace"
+)
+
+// benchOpts is the reduced scale every figure benchmark runs at.
+func benchOpts() ExperimentOptions {
+	opts := QuickExperiments()
+	opts.Requests = 1500
+	opts.Benchmarks = []string{"gcc", "mcf", "lbm"}
+	return opts
+}
+
+func reportTable(b *testing.B, tab *Table, row, series, metric string) {
+	b.Helper()
+	if v, ok := tab.Get(row, series); ok {
+		b.ReportMetric(v, metric)
+	}
+}
+
+func BenchmarkTable2MPKI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := Experiment("table2", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tab, "mcf", "read MPKI (sim)", "mcf-readMPKI")
+	}
+}
+
+func BenchmarkFig02PathTypeDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := Experiment("fig2", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tab, "avg", "PTd", "PTd-share")
+		reportTable(b, tab, "avg", "PTm", "PTm-share")
+	}
+}
+
+func BenchmarkFig03Utilization(b *testing.B) {
+	opts := benchOpts()
+	opts.Requests = 3000
+	for i := 0; i < b.N; i++ {
+		tab, err := Experiment("fig3", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		levels := opts.Base.ORAM.Levels
+		final := tab.Series[len(tab.Series)-1]
+		b.ReportMetric(final.Values[levels-1], "leaf-util")
+		b.ReportMetric(final.Values[levels-4], "mid-util")
+	}
+}
+
+func BenchmarkFig04UtilizationPerBench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Experiment("fig4", benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig05Migration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Experiment("fig5", benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig06TreeTopReuse(b *testing.B) {
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		tab, err := Experiment("fig6", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		top := opts.Base.ORAM.TopLevels
+		reportTable(b, tab, tab.Rows[top-1], "cumulative", "top-hit-share")
+	}
+}
+
+func BenchmarkFig07BlocksPerPath(b *testing.B) {
+	opts := DefaultExperiments()
+	opts.Base = PaperConfig() // pure arithmetic, full scale is free
+	for i := 0; i < b.N; i++ {
+		tab, err := Experiment("fig7", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tab, "IR-Alloc (IR-ORAM profile)", "blocks/path", "PL")
+	}
+}
+
+func BenchmarkFig10Performance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := Experiment("fig10", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tab, "gmean", "IR-ORAM", "iroram-speedup")
+		reportTable(b, tab, "gmean", "IR-Alloc", "iralloc-speedup")
+	}
+}
+
+func BenchmarkFig11LLCD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := Experiment("fig11", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tab, "gmean", "IR-Stash+IR-Alloc vs LLC-D", "combo-speedup")
+	}
+}
+
+func BenchmarkFig12AllocConfigs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := Experiment("fig12", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tab, "mean", "IR-Alloc4", "alloc4-normtime")
+	}
+}
+
+func BenchmarkFig13AllocUtilization(b *testing.B) {
+	opts := benchOpts()
+	opts.Requests = 3000
+	for i := 0; i < b.N; i++ {
+		if _, err := Experiment("fig13", opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14PosMapReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := Experiment("fig14", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tab, "mean", "normalized PosMap accesses", "posmap-ratio")
+	}
+}
+
+func BenchmarkFig15DWBConversion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := Experiment("fig15", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tab, "avg", "dummy (IR-DWB)", "dummy-share")
+		reportTable(b, tab, "avg", "converted (IR-DWB)", "converted-share")
+	}
+}
+
+func BenchmarkFig16Scalability(b *testing.B) {
+	opts := benchOpts()
+	opts.Requests = 1000
+	for i := 0; i < b.N; i++ {
+		tab, err := Experiment("fig16", opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportTable(b, tab, tab.Rows[1], "speedup", "alloc-speedup")
+	}
+}
+
+func BenchmarkAblationNoTimingProtection(b *testing.B) {
+	opts := benchOpts()
+	opts.Requests = 1000
+	for i := 0; i < b.N; i++ {
+		if _, err := Experiment("notp", opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- microbenchmarks of the core primitives ---
+
+// BenchmarkPathAccess measures end-to-end demand accesses against a cold
+// PLB (up to three path accesses each) on the tiny geometry.
+func BenchmarkPathAccess(b *testing.B) {
+	cfg := config.Tiny().WithScheme(config.Baseline())
+	mem := dram.New(cfg.DRAM)
+	c, err := core.NewController(cfg, mem, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	is := core.NewIssuer(c, nil)
+	r := rng.New(2)
+	nd := cfg.ORAM.DataBlocks()
+	b.ResetTimer()
+	now := uint64(0)
+	for i := 0; i < b.N; i++ {
+		now = is.ReadBlock(now, block.ID(r.Uint64n(nd)))
+	}
+}
+
+// BenchmarkControllerInit measures tree construction + initial placement.
+func BenchmarkControllerInit(b *testing.B) {
+	cfg := config.Tiny().WithScheme(config.Baseline())
+	for i := 0; i < b.N; i++ {
+		mem := dram.New(cfg.DRAM)
+		if _, err := core.NewController(cfg, mem, rng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDRAMBatch measures one path-sized read batch.
+func BenchmarkDRAMBatch(b *testing.B) {
+	cfg := config.Scaled().DRAM
+	m := dram.New(cfg)
+	accs := make([]dram.Access, 44)
+	for i := range accs {
+		accs[i] = dram.Access{Addr: uint64(i * 37)}
+	}
+	b.ResetTimer()
+	var now uint64
+	for i := 0; i < b.N; i++ {
+		now = m.ServiceBatch(now, accs)
+	}
+}
+
+// BenchmarkTraceGeneration measures synthetic record production.
+func BenchmarkTraceGeneration(b *testing.B) {
+	g := trace.MustBenchmark("xz", 1<<22, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.Fatal("exhausted")
+		}
+	}
+}
+
+// BenchmarkObliviousStoreAccess measures the functional Path ORAM with real
+// crypto: one sealed path read+write per operation.
+func BenchmarkObliviousStoreAccess(b *testing.B) {
+	store, err := NewObliviousStore(ObliviousStoreConfig{
+		Blocks: 4096, BlockSize: 64, Key: bytes.Repeat([]byte{1}, 32), Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := []byte("benchmark-payload")
+	r := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.Write(r.Uint64n(4096), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchemesEndToEnd runs each scheme on a short mcf slice — the
+// numbers mirror Fig 10's per-scheme cost at micro scale.
+func BenchmarkSchemesEndToEnd(b *testing.B) {
+	for _, sch := range AllSchemes() {
+		b.Run(sch.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := RunBenchmark(TinyConfig().WithScheme(sch), "mcf", 1000)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(res.Cycles), "sim-cycles")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,82 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -fig fig10                 # one figure at default scale
+//	experiments -fig all -out results.md   # everything, markdown report
+//	experiments -fig fig3 -requests 60000  # more trace records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"iroram"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "experiment: table2, fig2..fig16, notp, zsearch, or all")
+		requests = flag.Int("requests", 30000, "trace records per run")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 13)")
+		out      = flag.String("out", "", "also append results to this file")
+		quick    = flag.Bool("quick", false, "tiny geometry smoke run")
+	)
+	flag.Parse()
+
+	opts := iroram.DefaultExperiments()
+	if *quick {
+		opts = iroram.QuickExperiments()
+	}
+	opts.Requests = *requests
+	opts.Seed = *seed
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	var sink *os.File
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sink = f
+	}
+	emit := func(s string) {
+		fmt.Print(s)
+		if sink != nil {
+			fmt.Fprint(sink, s)
+		}
+	}
+
+	names := []string{*fig}
+	if *fig == "all" {
+		names = append([]string{}, iroram.FigureNames...)
+	}
+	for _, name := range names {
+		start := time.Now()
+		if name == "zsearch" {
+			prof, desc, err := iroram.SearchZProfile(opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: zsearch: %v\n", err)
+				os.Exit(1)
+			}
+			emit(fmt.Sprintf("Z-search result: %s\n(per-path blocks: %d)\n\n",
+				desc, prof.BlocksPerPath(opts.Base.ORAM.TopLevels)))
+			continue
+		}
+		tab, err := iroram.Experiment(name, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		emit(tab.String())
+		emit(fmt.Sprintf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond)))
+	}
+}

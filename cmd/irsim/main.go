@@ -1,0 +1,131 @@
+// Command irsim runs one (scheme, workload) simulation and prints a result
+// summary: cycles, path-access breakdown, PLB and DRAM behaviour.
+//
+// Usage:
+//
+//	irsim -scheme IR-ORAM -bench mcf -requests 30000
+//	irsim -scheme Baseline -bench mix -levels 25   # Table I geometry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iroram"
+	"iroram/internal/block"
+)
+
+func main() {
+	var (
+		scheme   = flag.String("scheme", "Baseline", "scheme: Baseline, Rho, IR-Alloc, IR-Stash, IR-DWB, IR-ORAM, LLC-D")
+		bench    = flag.String("bench", "mix", `workload: a Table II benchmark, "mix", or "random"`)
+		requests = flag.Int("requests", 30000, "trace records to simulate")
+		levels   = flag.Int("levels", 0, "override ORAM tree levels (0 = scaled default, 25 = Table I)")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		compare  = flag.Bool("compare", false, "run every scheme on the workload and print a comparison")
+	)
+	flag.Parse()
+
+	if *compare {
+		runComparison(*bench, *requests, *levels, *seed)
+		return
+	}
+
+	cfg := iroram.ScaledConfig()
+	if *levels == 25 {
+		cfg = iroram.PaperConfig()
+	} else if *levels != 0 {
+		cfg.ORAM.Levels = *levels
+		cfg.ORAM.Z = nil // rebuilt by WithScheme
+	}
+	cfg.Seed = *seed
+
+	var found bool
+	for _, sch := range iroram.AllSchemes() {
+		if strings.EqualFold(sch.Name, *scheme) {
+			cfg = cfg.WithScheme(sch)
+			found = true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "irsim: unknown scheme %q\n", *scheme)
+		os.Exit(2)
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "irsim: %v\n", err)
+		os.Exit(2)
+	}
+
+	res, err := iroram.RunBenchmark(cfg, *bench, *requests)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("scheme        %s\n", cfg.Scheme.Name)
+	fmt.Printf("workload      %s (%d requests, %d instructions)\n",
+		res.Name, res.Requests, res.Instructions)
+	fmt.Printf("geometry      L=%d, top %d levels on-chip, %d blocks/path\n",
+		cfg.ORAM.Levels, cfg.ORAM.TopLevels, cfg.ORAM.Z.BlocksPerPath(cfg.ORAM.TopLevels))
+	fmt.Printf("cycles        %d (IPC %.3f)\n", res.Cycles, res.IPC())
+	fmt.Printf("LLC           %.1f%% miss, %d read misses, %d write-backs (r/w MPKI %.2f/%.2f)\n",
+		100*res.LLC.MissRate(), res.ReadMisses, res.DirtyWBs, res.ReadMPKI(), res.WriteMPKI())
+	total := res.ORAM.Paths.Total()
+	fmt.Printf("paths         %d total\n", total)
+	for _, pt := range []block.PathType{block.PathData, block.PathPos1,
+		block.PathPos2, block.PathDummy, block.PathEvict, block.PathDWB} {
+		if n := res.ORAM.Paths.Paths[pt]; n > 0 {
+			fmt.Printf("  %-11s %8d (%.1f%%)\n", pt, n, 100*res.ORAM.Paths.Fraction(pt))
+		}
+	}
+	fmt.Printf("on-chip hits  stash %d, S-Stash %d, tree-top %d\n",
+		res.ORAM.StashHits, res.ORAM.SStashHits, res.ORAM.TopHits)
+	fmt.Printf("PLB           %d hits / %d misses\n", res.ORAM.PLBHits, res.ORAM.PLBMisses)
+	fmt.Printf("DRAM          %d reads, %d writes, %.1f%% row hits\n",
+		res.DRAM.Reads, res.DRAM.Writes, 100*res.DRAM.RowHitRate())
+	if res.ORAM.DWBCompleted > 0 {
+		fmt.Printf("IR-DWB        %d converted, %d completed, %d aborted\n",
+			res.ORAM.DWBConverted, res.ORAM.DWBCompleted, res.ORAM.DWBAborted)
+	}
+	if res.ORAM.NonUniformIssues > 0 {
+		fmt.Printf("WARNING       %d issue-gap violations (obliviousness audit)\n",
+			res.ORAM.NonUniformIssues)
+	}
+}
+
+// runComparison is -compare: every scheme on one workload, one line each.
+func runComparison(bench string, requests, levels int, seed uint64) {
+	fmt.Printf("%-10s %14s %9s %8s %8s %8s %8s\n",
+		"scheme", "cycles", "speedup", "paths", "PTp", "dummies", "blk/acc")
+	var baseCycles float64
+	for _, sch := range iroram.AllSchemes() {
+		cfg := iroram.ScaledConfig()
+		if levels == 25 {
+			cfg = iroram.PaperConfig()
+		} else if levels != 0 {
+			cfg.ORAM.Levels = levels
+			cfg.ORAM.Z = nil
+		}
+		cfg.Seed = seed
+		cfg = cfg.WithScheme(sch)
+		res, err := iroram.RunBenchmark(cfg, bench, requests)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irsim: %s: %v\n", sch.Name, err)
+			os.Exit(1)
+		}
+		if baseCycles == 0 {
+			baseCycles = float64(res.Cycles)
+		}
+		total := res.ORAM.Paths.Total()
+		blkPerAcc := 0.0
+		if total > 0 {
+			blkPerAcc = float64(res.ORAM.Paths.BlocksRead+res.ORAM.Paths.BlocksWrit) / float64(total)
+		}
+		fmt.Printf("%-10s %14d %9.3f %8d %8d %8d %8.1f\n",
+			sch.Name, res.Cycles, baseCycles/float64(res.Cycles), total,
+			res.ORAM.PosMapPaths, res.ORAM.DummyPaths, blkPerAcc)
+	}
+}

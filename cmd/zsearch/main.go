@@ -1,0 +1,49 @@
+// Command zsearch runs the greedy IR-Alloc bucket-size search of Section
+// IV-B: shrink middle-level Z values on random traces while the space loss
+// stays under 1% and background evictions grow at most 15%.
+//
+// Usage:
+//
+//	zsearch -requests 20000
+//	zsearch -levels 25 -requests 5000   # Table I geometry (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iroram"
+	"iroram/internal/config"
+)
+
+func main() {
+	var (
+		requests = flag.Int("requests", 20000, "trace records per candidate evaluation")
+		levels   = flag.Int("levels", 0, "tree levels (0 = scaled default)")
+		seed     = flag.Uint64("seed", 1, "evaluation seed")
+	)
+	flag.Parse()
+
+	opts := iroram.DefaultExperiments()
+	opts.Requests = *requests
+	opts.Seed = *seed
+	if *levels != 0 {
+		opts.Base.ORAM.Levels = *levels
+		opts.Base.ORAM.Z = config.Uniform(*levels, 4)
+		opts.Base.ORAM.UserBlocks = 0
+	}
+
+	prof, desc, err := iroram.SearchZProfile(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zsearch: %v\n", err)
+		os.Exit(1)
+	}
+	o := opts.Base.ORAM
+	base := config.Uniform(o.Levels, 4)
+	fmt.Printf("geometry      L=%d, top %d levels on-chip\n", o.Levels, o.TopLevels)
+	fmt.Printf("profile       %s\n", desc)
+	fmt.Printf("blocks/path   %d (baseline %d)\n",
+		prof.BlocksPerPath(o.TopLevels), base.BlocksPerPath(o.TopLevels))
+	fmt.Printf("space loss    %.3f%%\n", 100*prof.SpaceReductionVs(base, o.TopLevels))
+}

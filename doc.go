@@ -1,0 +1,35 @@
+// Package iroram is a from-scratch reproduction of IR-ORAM ("IR-ORAM: Path
+// Access Type Based Memory Intensity Reduction for Path-ORAM", HPCA 2022):
+// a Path ORAM controller simulator implementing the paper's three
+// path-type-specific optimizations plus the designs it compares against,
+// and a functional oblivious block store usable as a real library.
+//
+// # The simulator
+//
+// A System wires a trace-driven core, an LLC, the ORAM controller (with
+// Freecursive recursion, a tree-top store, background eviction and
+// timing-channel protection) and a DRAM timing model:
+//
+//	cfg := iroram.ScaledConfig().WithScheme(iroram.IROram())
+//	sys, err := iroram.NewSystem(cfg)
+//	res := sys.Run(iroram.BenchmarkTrace("mcf", cfg.ORAM.DataBlocks(), 1), 30000)
+//	fmt.Println(res.Cycles, res.ORAM.Paths)
+//
+// Schemes: Baseline (Freecursive + 10-level dedicated tree-top cache +
+// subtree layout + background eviction), Rho (ρ, Nagarajan et al.), LLCD
+// (delayed block remapping), and the paper's IRAlloc, IRStash, IRDWB and
+// the integrated IROram.
+//
+// # The experiments
+//
+// Every table and figure of the paper regenerates through the Experiment
+// helpers (or the cmd/experiments binary); see EXPERIMENTS.md for the
+// paper-vs-measured record.
+//
+// # The oblivious store
+//
+// NewObliviousStore returns a working Path ORAM over sealed memory
+// (AES-128-CTR + HMAC-SHA-256): every access is one path read + one path
+// write regardless of address, operation, or hit/miss, and any tampering
+// with the untrusted memory image fails authentication.
+package iroram

@@ -1,0 +1,72 @@
+// Alloc sweep: explore the IR-Alloc design space (Section VI-B). Runs the
+// four paper configurations plus the greedy Z-search on one workload and
+// prints normalized time and background-eviction share — a miniature
+// version of Fig 12.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iroram"
+	"iroram/internal/config"
+)
+
+func main() {
+	const (
+		bench    = "xz"
+		requests = 6000
+	)
+	base := iroram.TinyConfig()
+	o := base.ORAM
+
+	profiles := []struct {
+		name string
+		prof config.ZProfile
+	}{
+		{"Baseline(Z=4)", config.Uniform(o.Levels, 4)},
+		{"IR-Alloc1", config.Alloc1Profile(o.Levels, o.TopLevels)},
+		{"IR-Alloc2", config.Alloc2Profile(o.Levels, o.TopLevels)},
+		{"IR-Alloc3", config.Alloc3Profile(o.Levels, o.TopLevels)},
+		{"IR-Alloc4", config.Alloc4Profile(o.Levels, o.TopLevels)},
+	}
+
+	fmt.Printf("IR-Alloc design space on %q (L=%d, top %d on-chip)\n\n",
+		bench, o.Levels, o.TopLevels)
+	fmt.Printf("%-14s %-12s %6s %12s %10s %8s\n",
+		"config", "profile", "PL", "cycles", "norm.time", "bgEvict")
+
+	var baseCycles float64
+	for _, p := range profiles {
+		cfg := base.WithScheme(iroram.IRAlloc())
+		cfg.ORAM.Z = p.prof
+		res, err := iroram.RunBenchmark(cfg, bench, requests)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseCycles == 0 {
+			baseCycles = float64(res.Cycles)
+		}
+		fmt.Printf("%-14s %-12s %6d %12d %10.3f %8d\n",
+			p.name, shortDesc(p.prof, o.TopLevels), p.prof.BlocksPerPath(o.TopLevels),
+			res.Cycles, float64(res.Cycles)/baseCycles, res.ORAM.BgEvictions)
+	}
+
+	// The paper's greedy search, run fresh for this geometry.
+	opts := iroram.QuickExperiments()
+	opts.Requests = 3000
+	prof, desc, err := iroram.SearchZProfile(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ngreedy Z-search picked: %s (PL=%d)\n",
+		desc, prof.BlocksPerPath(o.TopLevels))
+}
+
+func shortDesc(p config.ZProfile, top int) string {
+	zs := ""
+	for l := top; l < len(p); l++ {
+		zs += fmt.Sprintf("%d", p[l])
+	}
+	return zs
+}

@@ -1,0 +1,78 @@
+// Oblivious store: the library as a real security primitive, not just a
+// simulator. A functional Path ORAM keeps a small encrypted key-value store
+// in untrusted memory: every access is one path read + one path write
+// (indistinguishable regardless of key, operation, or hit/miss), all slots
+// are AES-CTR encrypted and HMAC-authenticated, and any tampering with the
+// memory image is detected.
+package main
+
+import (
+	"crypto/rand"
+	"fmt"
+	"log"
+
+	"iroram"
+)
+
+func main() {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		log.Fatal(err)
+	}
+	store, err := iroram.NewObliviousStore(iroram.ObliviousStoreConfig{
+		Blocks:    1024,
+		BlockSize: 64,
+		Key:       key,
+		Seed:      42, // use a CSPRNG-derived seed in production
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("store: %d levels, every slot sealed with AES-128-CTR + HMAC-SHA-256\n\n",
+		store.Levels())
+
+	// Write a few records.
+	records := map[uint64]string{
+		7:   "alice: 1200 credits",
+		42:  "bob: 430 credits",
+		511: "carol: 99 credits",
+	}
+	for addr, val := range records {
+		if err := store.Write(addr, []byte(val)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Read them back — note the access counter: one path access per
+	// operation, no matter which record or whether it exists.
+	before := store.Accesses
+	for _, addr := range []uint64{42, 7, 511} {
+		val, err := store.Read(addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("read block %3d -> %q\n", addr, trimZero(val))
+	}
+	fmt.Printf("\n3 reads cost exactly %d path accesses (uniform, oblivious)\n",
+		store.Accesses-before)
+
+	// Tamper with the untrusted memory image: the next access through the
+	// damaged slot fails authentication.
+	img := store.MemoryImage()
+	for i := range img {
+		img[i][10] ^= 0xFF
+	}
+	if _, err := store.Read(42); err != nil {
+		fmt.Printf("tampering detected: %v\n", err)
+	} else {
+		log.Fatal("tampering went undetected!")
+	}
+}
+
+func trimZero(b []byte) string {
+	i := len(b)
+	for i > 0 && b[i-1] == 0 {
+		i--
+	}
+	return string(b[:i])
+}

@@ -1,0 +1,76 @@
+package iroram
+
+import (
+	"testing"
+)
+
+func TestPublicMixAndRandomArms(t *testing.T) {
+	for _, bench := range []string{"mix", "random"} {
+		res, err := RunBenchmark(TinyConfig(), bench, 800)
+		if err != nil {
+			t.Fatalf("%s: %v", bench, err)
+		}
+		if res.Cycles == 0 {
+			t.Errorf("%s: empty run", bench)
+		}
+	}
+}
+
+func TestPublicTraceConstructors(t *testing.T) {
+	u := TinyConfig().ORAM.DataBlocks()
+	for _, gen := range []TraceGenerator{
+		BenchmarkTrace("gcc", u, 1),
+		RandomTrace(u, 0.5, 1),
+		MixTrace(u, 1),
+	} {
+		req, ok := gen.Next()
+		if !ok || req.Addr >= u {
+			t.Errorf("%s: bad first record %+v ok=%v", gen.Name(), req, ok)
+		}
+	}
+}
+
+func TestPublicPresetsDiffer(t *testing.T) {
+	p, s, ti := PaperConfig(), ScaledConfig(), TinyConfig()
+	if !(p.ORAM.Levels > s.ORAM.Levels && s.ORAM.Levels > ti.ORAM.Levels) {
+		t.Error("preset geometry ordering wrong")
+	}
+	for _, cfg := range []Config{p, s, ti} {
+		if err := cfg.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestPublicSchemeNames(t *testing.T) {
+	want := map[string]Scheme{
+		"Baseline": Baseline(), "Rho": Rho(), "IR-Alloc": IRAlloc(),
+		"IR-Stash": IRStash(), "IR-DWB": IRDWB(), "IR-ORAM": IROram(),
+		"LLC-D": LLCD(),
+	}
+	for name, sch := range want {
+		if sch.Name != name {
+			t.Errorf("scheme %q reports name %q", name, sch.Name)
+		}
+	}
+	if len(AllSchemes()) != 7 {
+		t.Errorf("AllSchemes has %d entries", len(AllSchemes()))
+	}
+}
+
+func TestPublicNewSystemValidates(t *testing.T) {
+	bad := TinyConfig()
+	bad.ORAM.StashCapacity = 0
+	if _, err := NewSystem(bad); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestPublicBenchmarkTracePanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BenchmarkTrace("nope", 100, 1)
+}

@@ -1,0 +1,86 @@
+package iroram
+
+import "iroram/internal/experiments"
+
+// Figure names accepted by Experiment, in paper order.
+var FigureNames = []string{
+	"table2", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "notp",
+	"energy", "corun", "futurework", "ring",
+	"ablation-sstash", "ablation-interval", "ablation-mlp", "ablation-plb",
+}
+
+// Experiment regenerates one paper table or figure by name ("table2",
+// "fig2" ... "fig16", "notp" for the timing-protection ablation) at the
+// given scale. See DESIGN.md for the experiment index and EXPERIMENTS.md
+// for recorded paper-vs-measured values.
+func Experiment(name string, opts ExperimentOptions) (*Table, error) {
+	switch name {
+	case "table2":
+		return experiments.Table2(opts)
+	case "fig2":
+		return experiments.Fig2(opts)
+	case "fig3":
+		return experiments.Fig3(opts)
+	case "fig4":
+		return experiments.Fig4(opts)
+	case "fig5":
+		return experiments.Fig5(opts)
+	case "fig6":
+		return experiments.Fig6(opts)
+	case "fig7":
+		return experiments.Fig7(opts)
+	case "fig10":
+		return experiments.Fig10(opts)
+	case "fig11":
+		return experiments.Fig11(opts)
+	case "fig12":
+		return experiments.Fig12(opts)
+	case "fig13":
+		return experiments.Fig13(opts)
+	case "fig14":
+		return experiments.Fig14(opts)
+	case "fig15":
+		return experiments.Fig15(opts)
+	case "fig16":
+		return experiments.Fig16(opts, 3)
+	case "notp":
+		return experiments.NoTimingProtection(opts)
+	case "energy":
+		return experiments.Energy(opts)
+	case "corun":
+		return experiments.CoRun(opts, nil)
+	case "futurework":
+		return experiments.FutureWork(opts)
+	case "ring":
+		return experiments.Ring(opts)
+	case "ablation-sstash":
+		return experiments.SStashAssocAblation(opts, nil)
+	case "ablation-interval":
+		return experiments.IntervalAblation(opts, nil)
+	case "ablation-mlp":
+		return experiments.MLPAblation(opts, nil)
+	case "ablation-plb":
+		return experiments.PLBAblation(opts, nil)
+	default:
+		return nil, &UnknownExperimentError{Name: name}
+	}
+}
+
+// UnknownExperimentError reports an unrecognized experiment name.
+type UnknownExperimentError struct{ Name string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "iroram: unknown experiment " + e.Name + " (see FigureNames)"
+}
+
+// SearchZProfile runs the greedy IR-Alloc bucket-size search of Section
+// IV-B at the given scale and returns the chosen profile with a compact
+// description.
+func SearchZProfile(opts ExperimentOptions) (ZProfile, string, error) {
+	prof, _, err := experiments.ZSearch(opts)
+	if err != nil {
+		return nil, "", err
+	}
+	return prof, experiments.DescribeProfile(prof, opts.Base.ORAM.TopLevels), nil
+}

@@ -1,0 +1,3 @@
+module iroram
+
+go 1.22

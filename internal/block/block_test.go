@@ -1,0 +1,61 @@
+package block
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInvalidID(t *testing.T) {
+	if Invalid.Valid() {
+		t.Error("Invalid must not be valid")
+	}
+	if !ID(0).Valid() || !ID(1<<30).Valid() {
+		t.Error("ordinary IDs must be valid")
+	}
+}
+
+func TestIDString(t *testing.T) {
+	if got := ID(42).String(); got != "blk42" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Invalid.String(); !strings.Contains(got, "dummy") {
+		t.Errorf("Invalid String = %q", got)
+	}
+}
+
+func TestNoLeaf(t *testing.T) {
+	if NoLeaf.Valid() {
+		t.Error("NoLeaf must not be valid")
+	}
+	if !Leaf(0).Valid() {
+		t.Error("leaf 0 must be valid")
+	}
+}
+
+func TestPathTypeNames(t *testing.T) {
+	want := map[PathType]string{
+		PathData:  "PTd",
+		PathPos1:  "PTp(Pos1)",
+		PathPos2:  "PTp(Pos2)",
+		PathDummy: "PTm",
+		PathEvict: "BgEvict",
+		PathDWB:   "DWB",
+	}
+	for pt, name := range want {
+		if pt.String() != name {
+			t.Errorf("%d: %q, want %q", pt, pt.String(), name)
+		}
+	}
+	if !strings.Contains(PathType(99).String(), "99") {
+		t.Error("unknown PathType should include the raw value")
+	}
+	if NumPathTypes != len(want) {
+		t.Errorf("NumPathTypes = %d, want %d", NumPathTypes, len(want))
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("Op names wrong")
+	}
+}

@@ -1,0 +1,62 @@
+package cache
+
+// DWBScanner implements the candidate-search half of IR-DWB (Fig 9): a Ptr
+// register that round-robins across LLC sets looking for a dirty LRU entry
+// while the LLC is idle. If a full sweep finds nothing, the search pauses
+// for 1000 cycles and restarts from a random set, exactly as the paper's
+// small state machine (borrowed from autonomous eager writeback) does.
+type DWBScanner struct {
+	c          *Cache
+	cursor     int
+	pauseUntil uint64
+	randSet    func() int
+	// anyLRU widens the predicate from dirty-LRU to any LRU line (the
+	// proactive-remapping extension, where clean LLC-D lines also need
+	// PosMap work at eviction).
+	anyLRU bool
+
+	// Candidates found / sweeps that came up empty, for diagnostics.
+	Found, EmptySweeps uint64
+}
+
+// scanPause is the paper's 1000-cycle back-off after an empty sweep.
+const scanPause = 1000
+
+// NewDWBScanner attaches a scanner to c. randSet supplies the random restart
+// set; it must return values in [0, c.Sets()).
+func NewDWBScanner(c *Cache, randSet func() int) *DWBScanner {
+	return &DWBScanner{c: c, randSet: randSet}
+}
+
+// NewLRUScanner is NewDWBScanner with the any-LRU predicate.
+func NewLRUScanner(c *Cache, randSet func() int) *DWBScanner {
+	return &DWBScanner{c: c, randSet: randSet, anyLRU: true}
+}
+
+// FindCandidate returns the dirty LRU entry of the first set at or after the
+// round-robin cursor, advancing the cursor past it. During the pause window
+// after an empty sweep it reports no candidate.
+func (s *DWBScanner) FindCandidate(now uint64) (addr uint64, ok bool) {
+	if now < s.pauseUntil {
+		return 0, false
+	}
+	for i := 0; i < s.c.Sets(); i++ {
+		si := (s.cursor + i) % s.c.Sets()
+		var a uint64
+		var ok bool
+		if s.anyLRU {
+			a, ok = s.c.LRU(si)
+		} else {
+			a, ok = s.c.DirtyLRU(si)
+		}
+		if ok {
+			s.cursor = (si + 1) % s.c.Sets()
+			s.Found++
+			return a, true
+		}
+	}
+	s.EmptySweeps++
+	s.pauseUntil = now + scanPause
+	s.cursor = s.randSet()
+	return 0, false
+}

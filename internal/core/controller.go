@@ -1,0 +1,360 @@
+// Package core implements the paper's primary contribution: the Path ORAM
+// controller with Freecursive recursion, the dedicated tree-top cache
+// baseline, background eviction, timing-channel protection, and the three
+// IR-ORAM techniques (IR-Alloc via per-level Z profiles, IR-Stash via the
+// double-indexed S-Stash, IR-DWB via dummy-to-writeback conversion), plus
+// the compared designs ρ and LLC-D.
+//
+// The controller separates two concerns:
+//
+//   - Controller (this file / access.go): the Path ORAM protocol — position
+//     map resolution, path read/remap/write phases, stash and tree-top
+//     management. Every protocol action that touches DRAM happens inside a
+//     "path access".
+//   - Issuer (issuer.go): when path accesses are allowed to happen. With
+//     timing protection, exactly one path access leaves the controller
+//     every T cycles; the issuer fills slots with demand work, posted
+//     writes, background eviction, IR-DWB conversions, or pure dummies —
+//     indistinguishable from outside the TCB.
+package core
+
+import (
+	"fmt"
+
+	"iroram/internal/block"
+	"iroram/internal/cache"
+	"iroram/internal/config"
+	"iroram/internal/dram"
+	"iroram/internal/posmap"
+	"iroram/internal/rng"
+	"iroram/internal/stash"
+	"iroram/internal/tree"
+)
+
+// Controller is the on-chip ORAM controller: control logic, stash(es),
+// position map, PLB, and (optionally) the tree-top store.
+type Controller struct {
+	cfg      config.System
+	o        config.ORAM
+	pm       *posmap.Map
+	tr       *tree.Tree
+	layout   *tree.Layout
+	fstash   *stash.FStash
+	top      stash.TopStore  // nil for TopNone
+	topIdx   stash.AddrIndex // non-nil only for IR-Stash
+	plb      *cache.Cache
+	mem      *dram.Model
+	rng      *rng.Source
+	st       *Stats
+	minLevel int
+
+	rho  *rhoState  // non-nil when the ρ scheme is active
+	ring *ringState // non-nil when the Ring ORAM protocol is active
+
+	// Scratch buffers reused across path accesses.
+	physBuf []uint64
+	accBuf  []dram.Access
+	fetched map[block.ID]bool
+}
+
+// NewController builds and initializes a controller: the position map is
+// randomized, and every block of the unified space is placed into the tree
+// (deepest-first along its path), overflowing into the tree-top store and
+// finally the stash — the steady-state reached by the paper's
+// "initialize-by-accessing-every-block" procedure.
+func NewController(cfg config.System, mem *dram.Model, r *rng.Source) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	o := cfg.ORAM
+	minLevel := 0
+	if cfg.Scheme.Top != config.TopNone {
+		minLevel = o.TopLevels
+	}
+	c := &Controller{
+		cfg:      cfg,
+		o:        o,
+		pm:       posmap.New(o, r.Fork()),
+		tr:       tree.New(o, minLevel),
+		layout:   tree.NewLayout(o, minLevel, int(mem.RowBlocks())),
+		fstash:   stash.NewFStash(o.StashCapacity),
+		plb:      cache.New(o.PLBEntries/o.PLBWays, o.PLBWays),
+		mem:      mem,
+		rng:      r,
+		st:       newStats(o.Levels),
+		minLevel: minLevel,
+		fetched:  make(map[block.ID]bool, 128),
+	}
+	switch cfg.Scheme.Top {
+	case config.TopDedicated:
+		c.top = stash.NewTopCache(o.Levels, o.TopLevels, o.Z)
+	case config.TopIRStash:
+		irs := stash.NewIRStash(o.Levels, o.TopLevels, o.Z, o.SStashWays)
+		c.top = irs
+		c.topIdx = irs
+	}
+	if cfg.Scheme.Rho {
+		if err := c.initRho(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Scheme.Ring {
+		c.initRing()
+	}
+	c.initPlacement()
+	return c, nil
+}
+
+// initPlacement distributes every unified block along its assigned path,
+// deepest bucket first, spilling to the on-chip top store and then to the
+// stash (which background eviction will drain during warm-up).
+func (c *Controller) initPlacement() {
+	total := block.ID(c.pm.Total())
+	for id := block.ID(0); id < total; id++ {
+		e := tree.Entry{Addr: id, Leaf: c.pm.Leaf(id)}
+		if _, ok := c.tr.Place(e); ok {
+			continue
+		}
+		if c.placeInTop(e) {
+			continue
+		}
+		c.fstash.Insert(e)
+	}
+}
+
+// placeInTop tries the top-store buckets of e's path, deepest first.
+func (c *Controller) placeInTop(e tree.Entry) bool {
+	if c.top == nil {
+		return false
+	}
+	for l := c.minLevel - 1; l >= 0; l-- {
+		if c.top.Fill(l, e.Leaf, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats exposes the collected statistics.
+func (c *Controller) Stats() *Stats { return c.st }
+
+// StashLen returns the current F-Stash occupancy.
+func (c *Controller) StashLen() int { return c.fstash.Len() }
+
+// StashOverfull reports whether background eviction is required.
+func (c *Controller) StashOverfull() bool {
+	return c.fstash.Overfull(c.o.StashEvictThreshold)
+}
+
+// Utilization returns per-level space utilization with the on-chip top
+// levels overlaid from the top store — the Fig 3 measurement.
+func (c *Controller) Utilization() []float64 {
+	u := c.tr.Utilization()
+	if c.top != nil {
+		for l := 0; l < c.minLevel; l++ {
+			if capAt := c.top.CapacityAt(l); capAt > 0 {
+				u[l] = float64(c.top.OccupiedAt(l)) / float64(capAt)
+			}
+		}
+	}
+	return u
+}
+
+// BlocksPerPath returns the per-path DRAM block count of the main tree.
+func (c *Controller) BlocksPerPath() int { return c.o.Z.BlocksPerPath(c.minLevel) }
+
+// randomLeaf draws a uniform main-tree leaf.
+func (c *Controller) randomLeaf() block.Leaf {
+	return block.Leaf(c.rng.Uint64n(c.o.LeafCount()))
+}
+
+// pathAccess is the protocol primitive: read phase (DRAM batch + on-chip
+// segment), stash fill, then the greedy deepest-first write phase. target
+// (if valid) is extracted instead of being stashed; found reports whether
+// it was on the path.
+//
+// The returned time is when the requested block is available — the read
+// phase plus the fixed decrypt/authenticate latency. The write phase is
+// posted to the DRAM write queue and drains in the background; the next
+// path access naturally queues behind it on the channel buses, so in
+// steady state the controller is limited by exactly the per-path block
+// traffic that IR-Alloc reduces.
+func (c *Controller) pathAccess(now uint64, leaf block.Leaf, target block.ID,
+	ptype block.PathType) (found bool, done uint64) {
+	// Read phase: the memory segment of the path.
+	c.physBuf = c.layout.PathPhys(leaf, c.physBuf[:0])
+	c.accBuf = c.accBuf[:0]
+	for _, a := range c.physBuf {
+		c.accBuf = append(c.accBuf, dram.Access{Addr: a})
+	}
+	readDone := c.mem.ServiceBatch(now, c.accBuf)
+
+	clear(c.fetched)
+	insert := func(entries []tree.Entry) {
+		for _, e := range entries {
+			c.fetched[e.Addr] = true
+			if e.Addr == target {
+				found = true
+				continue
+			}
+			c.fstash.Insert(e)
+		}
+	}
+	insert(c.tr.ReadPath(leaf))
+	if c.top != nil {
+		insert(c.top.ReadPath(leaf))
+	}
+
+	// Write phase: memory levels leaf-to-minLevel, greedy deepest-first.
+	for l := c.o.Levels - 1; l >= c.minLevel; l-- {
+		take := c.fstash.TakeForBucket(leaf, l, c.o.Levels, c.o.Z[l], nil)
+		for _, e := range take {
+			c.recordMigration(e.Addr, l)
+		}
+		c.tr.FillBucket(l, leaf, take)
+	}
+	// On-chip segment: per-entry fills, honoring S-Stash conflict refusals
+	// ("skip picking this block for this round").
+	if c.top != nil {
+		c.fillTopPath(leaf)
+	}
+
+	// Write phase DRAM traffic: the same physical blocks, written. The
+	// batch is posted (its completion time is not waited on); it occupies
+	// the channel buses and delays whatever issues next.
+	c.accBuf = c.accBuf[:0]
+	for _, a := range c.physBuf {
+		c.accBuf = append(c.accBuf, dram.Access{Addr: a, Write: true})
+	}
+	c.mem.PostWrites(readDone, c.accBuf)
+
+	c.st.Paths.Add(ptype, len(c.physBuf), len(c.physBuf))
+	if c.st.RecordLeaves {
+		c.st.Leaves = append(c.st.Leaves, leaf)
+	}
+	return found, readDone + c.o.OnChipLatency
+}
+
+func (c *Controller) fillTopPath(leaf block.Leaf) {
+	for l := c.minLevel - 1; l >= 0; l-- {
+		refused := make(map[block.ID]bool)
+		for placed := 0; placed < c.o.Z[l]; {
+			cand := c.fstash.TakeForBucket(leaf, l, c.o.Levels, 1,
+				func(e tree.Entry) bool { return !refused[e.Addr] })
+			if len(cand) == 0 {
+				break
+			}
+			e := cand[0]
+			if c.top.Fill(l, leaf, e) {
+				c.recordMigration(e.Addr, l)
+				placed++
+			} else {
+				refused[e.Addr] = true
+				c.fstash.Insert(e)
+			}
+		}
+	}
+}
+
+func (c *Controller) recordMigration(addr block.ID, level int) {
+	if c.fetched[addr] {
+		c.st.MigrationFetched.Add(level)
+	} else {
+		c.st.MigrationPreexisting.Add(level)
+	}
+}
+
+// treeAccess dispatches the main-tree access primitive: Ring ORAM's
+// one-block-per-bucket read when the Ring protocol is active, the Path ORAM
+// read+write path otherwise.
+func (c *Controller) treeAccess(now uint64, leaf block.Leaf, target block.ID,
+	ptype block.PathType) (found bool, done uint64) {
+	if c.ring != nil {
+		return c.ringAccess(now, leaf, target, ptype)
+	}
+	return c.pathAccess(now, leaf, target, ptype)
+}
+
+// backgroundEvict performs one background-eviction path access (Ren et
+// al.): a random path read+write that gives stashed blocks placement
+// opportunities. Indistinguishable from any other path access outside the
+// TCB. Under Ring ORAM the eviction path plays this role.
+func (c *Controller) backgroundEvict(now uint64) uint64 {
+	var done uint64
+	if c.ring != nil {
+		done = c.ringEvictPath(now)
+	} else {
+		_, done = c.pathAccess(now, c.randomLeaf(), block.Invalid, block.PathEvict)
+	}
+	c.st.BgEvictions++
+	c.st.BgEvictionCycles += done - now
+	return done
+}
+
+// dummyPath performs one PT_m access on a random leaf. Like background
+// eviction it opportunistically drains the stash during its write phase
+// (Path ORAM) or consumes bucket dummies exactly like a missing read
+// (Ring ORAM).
+func (c *Controller) dummyPath(now uint64) uint64 {
+	_, done := c.treeAccess(now, c.randomLeaf(), block.Invalid, block.PathDummy)
+	c.st.DummyPaths++
+	return done
+}
+
+// CheckInvariants walks the whole system and verifies single-residency and
+// capacity invariants; tests call it after workloads. It returns the first
+// violation found.
+func (c *Controller) CheckInvariants() error {
+	seen := make(map[block.ID]string, c.pm.Total())
+	note := func(id block.ID, where string) error {
+		if prev, dup := seen[id]; dup {
+			return fmt.Errorf("core: block %v in both %s and %s", id, prev, where)
+		}
+		seen[id] = where
+		return nil
+	}
+	var err error
+	c.fstash.Each(func(e tree.Entry) {
+		if err == nil {
+			err = note(e.Addr, "fstash")
+		}
+	})
+	if err != nil {
+		return err
+	}
+	// Tree blocks: verify via per-leaf path reads would be destructive;
+	// instead verify counts: every block is somewhere.
+	total := c.tr.Occupied()
+	if c.top != nil {
+		total += uint64(c.top.Len())
+	}
+	total += uint64(c.fstash.Len())
+	total += uint64(c.plbResident())
+	if c.rho != nil {
+		total += c.rho.occupied()
+	}
+	expect := c.pm.Total()
+	if c.cfg.Scheme.DelayedRemap || c.rho != nil {
+		// Blocks held out (in the LLC / pending reinsert) are allowed to
+		// be missing; only over-counting is a bug.
+		if total > expect {
+			return fmt.Errorf("core: %d blocks resident, expected at most %d", total, expect)
+		}
+		return nil
+	}
+	if total != expect {
+		return fmt.Errorf("core: %d blocks resident, expected %d", total, expect)
+	}
+	return nil
+}
+
+// plbResident counts PosMap blocks currently owned by the PLB.
+func (c *Controller) plbResident() int {
+	n := 0
+	for id := block.ID(c.pm.DataBlocks()); id < block.ID(c.pm.Total()); id++ {
+		if c.plb.Contains(uint64(id)) {
+			n++
+		}
+	}
+	return n
+}

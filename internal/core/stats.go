@@ -1,0 +1,94 @@
+package core
+
+import (
+	"iroram/internal/block"
+	"iroram/internal/stats"
+)
+
+// Stats aggregates everything the paper's figures need from the controller.
+type Stats struct {
+	// Paths counts path accesses by type (Fig 2, Fig 15).
+	Paths stats.PathCounters
+
+	// StashHits counts data requests served by the F-Stash.
+	StashHits uint64
+	// SStashHits counts data requests served by the IR-Stash address index
+	// before any PosMap work (the accesses whose PTp paths IR-Stash saves).
+	SStashHits uint64
+	// TopHits counts data requests served on-chip from the tree top after
+	// PosMap resolution (the baseline dedicated-cache hit of Fig 6).
+	TopHits uint64
+	// HitLevels histograms the tree level at which requested data blocks
+	// were found (tree-top and memory levels; Fig 6).
+	HitLevels *stats.LevelHist
+
+	// PosMapPaths counts PTp path accesses (Pos1 + Pos2), Fig 14's metric.
+	PosMapPaths uint64
+	// PLBHits / PLBMisses count PosMap entry lookups.
+	PLBHits, PLBMisses uint64
+
+	// BgEvictions counts background-eviction path accesses; BgEvictionCycles
+	// accumulates the time they occupied (Fig 12's shaded share).
+	BgEvictions      uint64
+	BgEvictionCycles uint64
+
+	// DummyPaths counts pure PT_m paths; DWBConverted counts dummy slots
+	// IR-DWB turned into useful work; DWBCompleted counts LLC lines fully
+	// written back early (Stage reached 0); DWBAborted counts abandoned
+	// candidates.
+	DummyPaths   uint64
+	DWBConverted uint64
+	DWBCompleted uint64
+	DWBAborted   uint64
+	// ProactiveRemaps counts LLC LRU entries whose PosMap state was
+	// prefetched by converted dummies (the Section IV-D future-work
+	// extension), making their later LLC-D eviction free.
+	ProactiveRemaps uint64
+
+	// Migration records which levels write phases placed blocks at,
+	// separated by block origin (Fig 5): fetched this access vs
+	// pre-existing in the stash.
+	MigrationFetched     *stats.LevelHist
+	MigrationPreexisting *stats.LevelHist
+
+	// Issue-gap audit (the obliviousness regression check): with timing
+	// protection on, the controller may never be observably idle — every
+	// issue must start no later than max(previous issue + T, previous path
+	// completion). NonUniformIssues counts violations; PathsIssued the
+	// total number of path issues.
+	PathsIssued      uint64
+	NonUniformIssues uint64
+
+	// ServedRequests counts completed LLC-side requests (reads + writes).
+	ServedRequests uint64
+
+	// ContextSwitches counts Section IV-C stash-flush/top-spill events.
+	ContextSwitches uint64
+
+	// RecordLeaves enables capture of the leaf of every issued path access
+	// into Leaves — the externally visible access trace, used by security
+	// regression tests to check that observed paths are uniform and carry
+	// no workload information. Off by default (it grows unboundedly).
+	RecordLeaves bool
+	Leaves       []block.Leaf
+}
+
+func newStats(levels int) *Stats {
+	return &Stats{
+		HitLevels:            stats.NewLevelHist(levels),
+		MigrationFetched:     stats.NewLevelHist(levels),
+		MigrationPreexisting: stats.NewLevelHist(levels),
+	}
+}
+
+// DataHits returns how many data requests were served without a data path
+// access (stash + S-Stash + dedicated top cache).
+func (s *Stats) DataHits() uint64 { return s.StashHits + s.SStashHits + s.TopHits }
+
+// pathTypeCount is a convenience for figure drivers.
+func (s *Stats) pathTypeCount(t block.PathType) uint64 { return s.Paths.Paths[t] }
+
+// PosPathFraction returns the PTp share of all path accesses.
+func (s *Stats) PosPathFraction() float64 {
+	return s.Paths.Fraction(block.PathPos1) + s.Paths.Fraction(block.PathPos2)
+}

@@ -1,0 +1,247 @@
+// Package dram is the memory timing model standing in for USIMM. It tracks
+// per-bank row-buffer state across channels and services the block batches
+// that ORAM path accesses generate, charging DDR-style timing (activate /
+// column access / precharge / burst). Together with the subtree layout in
+// internal/tree it reproduces the two first-order effects Path ORAM
+// performance depends on: path-batch service time and row-buffer locality.
+package dram
+
+import (
+	"fmt"
+
+	"iroram/internal/config"
+)
+
+// Access is one 64 B block transfer.
+type Access struct {
+	// Addr is the physical block address (in block units, as produced by
+	// the tree's subtree layout).
+	Addr uint64
+	// Write selects the bus direction.
+	Write bool
+}
+
+// Stats aggregates DRAM activity.
+type Stats struct {
+	Reads     uint64
+	Writes    uint64
+	RowHits   uint64
+	RowMisses uint64
+	// BusyCPUCycles is the sum of per-channel busy time in CPU cycles.
+	BusyCPUCycles uint64
+}
+
+// RowHitRate returns the fraction of accesses that hit an open row.
+func (s Stats) RowHitRate() float64 {
+	total := s.RowHits + s.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+const noRow = ^uint64(0)
+
+type bank struct {
+	openRow   uint64
+	lastWrite bool
+	// avail is the earliest CPU cycle at which data for a column access to
+	// the open row can appear on the bus (activation + tRCD + tCAS).
+	avail uint64
+	// lastData is when the bank's most recent data transfer finishes; the
+	// row cannot be precharged before that.
+	lastData uint64
+}
+
+type channel struct {
+	banks  []bank
+	freeAt uint64 // CPU cycle when the channel data bus becomes idle
+}
+
+// Model is the DRAM timing simulator. All externally visible times are CPU
+// cycles; the model converts internally using CPUCyclesPerDRAMCycle.
+type Model struct {
+	cfg       config.DRAM
+	channels  []channel
+	rowBlocks uint64
+	stats     Stats
+}
+
+// New builds a model from the configuration. It panics on invalid geometry
+// (callers validate configs up front; see config.System.Validate).
+func New(cfg config.DRAM) *Model {
+	if cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 || cfg.RowBytes < config.BlockSize {
+		panic(fmt.Sprintf("dram: invalid geometry %+v", cfg))
+	}
+	m := &Model{
+		cfg:       cfg,
+		channels:  make([]channel, cfg.Channels),
+		rowBlocks: uint64(cfg.RowBytes / config.BlockSize),
+	}
+	for i := range m.channels {
+		m.channels[i].banks = make([]bank, cfg.BanksPerChannel)
+		for b := range m.channels[i].banks {
+			m.channels[i].banks[b].openRow = noRow
+		}
+	}
+	return m
+}
+
+// RowBlocks returns the number of 64 B blocks per DRAM row.
+func (m *Model) RowBlocks() uint64 { return m.rowBlocks }
+
+// decompose maps a physical block address to channel, bank and row using
+// block-level channel interleaving (the USIMM default): consecutive blocks
+// rotate across channels, so a row-aligned subtree is striped over all
+// channels — every path batch gets full channel parallelism while each
+// channel still sees one open row per subtree.
+func (m *Model) decompose(addr uint64) (ch, bk int, row uint64) {
+	ch = int(addr % uint64(m.cfg.Channels))
+	rest := addr / uint64(m.cfg.Channels)
+	rowID := rest / m.rowBlocks
+	bk = int(rowID % uint64(m.cfg.BanksPerChannel))
+	row = rowID / uint64(m.cfg.BanksPerChannel)
+	return ch, bk, row
+}
+
+// ServiceBatch services the accesses of one path phase starting no earlier
+// than now and returns the cycle at which the last transfer finishes.
+//
+// The model pipelines banks behind a shared per-channel data bus, the way
+// DDR controllers do: a row miss charges precharge (+ write recovery) and
+// activate on the *bank*, which overlaps with other banks' data transfers;
+// only the tBURST data beats serialize on the channel bus. Channel cursors
+// persist across batches, so a batch issued while an earlier one is
+// draining queues behind it — which is how dummy-path contention delays
+// demand requests.
+func (m *Model) ServiceBatch(now uint64, accs []Access) uint64 {
+	if len(accs) == 0 {
+		return now
+	}
+	cpd := uint64(m.cfg.CPUCyclesPerDRAMCycle)
+	burst := uint64(m.cfg.TBurst) * cpd
+	cas := uint64(m.cfg.TCAS) * cpd
+	rcd := uint64(m.cfg.TRCD) * cpd
+	pre := uint64(m.cfg.TRP) * cpd
+	wr := uint64(m.cfg.TWR) * cpd
+
+	done := now
+	for i := range accs {
+		a := accs[i]
+		chIdx, bkIdx, row := m.decompose(a.Addr)
+		ch := &m.channels[chIdx]
+		b := &ch.banks[bkIdx]
+
+		if b.openRow == row {
+			m.stats.RowHits++
+		} else {
+			m.stats.RowMisses++
+			// The controller knows a path's full address list when it
+			// issues, so the MC opens rows ahead of the data transfers:
+			// precharge+activate chains from when the bank last moved
+			// data, not from the batch start. In steady state activation
+			// latency hides behind the previous path's bursts; only the
+			// per-block bus occupancy remains — the quantity IR-Alloc cuts.
+			start := b.lastData
+			if b.openRow != noRow {
+				start += pre
+				if b.lastWrite {
+					start += wr
+				}
+			}
+			b.avail = start + rcd + cas
+			b.openRow = row
+		}
+		// Data for this access can appear no earlier than the row being
+		// open (b.avail) and no earlier than a column command issued now;
+		// consecutive row hits pipeline and become bus-limited.
+		dataReady := b.avail
+		if min := now + cas; dataReady < min {
+			dataReady = min
+		}
+		busStart := dataReady
+		if busStart < ch.freeAt {
+			busStart = ch.freeAt
+		}
+		finish := busStart + burst
+		ch.freeAt = finish
+		b.lastData = finish
+		b.lastWrite = a.Write
+		m.stats.BusyCPUCycles += burst
+		if a.Write {
+			m.stats.Writes++
+		} else {
+			m.stats.Reads++
+		}
+		if finish > done {
+			done = finish
+		}
+	}
+	return done
+}
+
+// PostWrites queues a write batch the way an FR-FCFS controller's write
+// buffer drains it: the transfers occupy the channel data buses (delaying
+// everything issued later) but do not close rows or block later reads on
+// bank timing — reads are prioritized over buffered writes, and ORAM write
+// phases target the rows the read phase just opened. It returns the cycle
+// the last write drains (informational; callers normally don't wait on it).
+func (m *Model) PostWrites(now uint64, accs []Access) uint64 {
+	if len(accs) == 0 {
+		return now
+	}
+	burst := uint64(m.cfg.TBurst) * uint64(m.cfg.CPUCyclesPerDRAMCycle)
+	done := now
+	for i := range accs {
+		ch := &m.channels[int(accs[i].Addr%uint64(m.cfg.Channels))]
+		start := ch.freeAt
+		if start < now {
+			start = now
+		}
+		ch.freeAt = start + burst
+		m.stats.BusyCPUCycles += burst
+		m.stats.Writes++
+		m.stats.RowHits++ // write phases target the rows the read opened
+		if ch.freeAt > done {
+			done = ch.freeAt
+		}
+	}
+	return done
+}
+
+// FreeAt returns the cycle at which every channel is idle, i.e. when all
+// previously issued traffic has drained.
+func (m *Model) FreeAt() uint64 {
+	var max uint64
+	for i := range m.channels {
+		if m.channels[i].freeAt > max {
+			max = m.channels[i].freeAt
+		}
+	}
+	return max
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Model) Stats() Stats { return m.stats }
+
+// Reset clears timing state and statistics.
+func (m *Model) Reset() {
+	m.stats = Stats{}
+	for i := range m.channels {
+		m.channels[i].freeAt = 0
+		for b := range m.channels[i].banks {
+			m.channels[i].banks[b] = bank{openRow: noRow}
+		}
+	}
+}
+
+// PathServiceBound returns an upper bound on the CPU cycles one path phase
+// of n blocks takes on an idle memory system — useful for checking that the
+// timing-protection interval T can absorb a full path (the paper's
+// assumption when fixing T=1000).
+func (m *Model) PathServiceBound(n int) uint64 {
+	cpd := uint64(m.cfg.CPUCyclesPerDRAMCycle)
+	perChan := (uint64(n) + uint64(m.cfg.Channels) - 1) / uint64(m.cfg.Channels)
+	lat := uint64(m.cfg.TRP+m.cfg.TWR+m.cfg.TRCD+m.cfg.TCAS) * cpd
+	return lat + perChan*uint64(m.cfg.TBurst)*cpd + lat
+}

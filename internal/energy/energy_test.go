@@ -1,0 +1,72 @@
+package energy
+
+import (
+	"testing"
+
+	"iroram/internal/cache"
+	"iroram/internal/config"
+	"iroram/internal/core"
+	"iroram/internal/dram"
+	"iroram/internal/sim"
+	"iroram/internal/stats"
+	"iroram/internal/trace"
+)
+
+func fakeResult() sim.Result {
+	var p stats.PathCounters
+	p.BlocksRead, p.BlocksWrit = 1000, 1000
+	return sim.Result{
+		DRAM: dram.Stats{Reads: 1000, Writes: 1000},
+		LLC:  cache.Stats{Hits: 500, Misses: 100},
+		ORAM: core.Stats{Paths: p, PLBHits: 50, PLBMisses: 25},
+	}
+}
+
+func TestEstimateArithmetic(t *testing.T) {
+	b := Estimate(fakeResult(), DefaultCosts())
+	// 2000 DRAM accesses x 40 nJ = 80000 nJ = 0.08 mJ.
+	if b.DRAM < 0.079 || b.DRAM > 0.081 {
+		t.Errorf("DRAM energy %v mJ, want 0.08", b.DRAM)
+	}
+	if b.Total() <= b.DRAM {
+		t.Error("total should include on-chip and crypto energy")
+	}
+}
+
+func TestDRAMDominates(t *testing.T) {
+	// The paper's premise: memory accesses dominate Path ORAM energy.
+	b := Estimate(fakeResult(), DefaultCosts())
+	if b.DRAMShare() < 0.8 {
+		t.Errorf("DRAM share %.2f; the paper's regime is >80%%", b.DRAMShare())
+	}
+}
+
+func TestZeroRun(t *testing.T) {
+	b := Estimate(sim.Result{}, DefaultCosts())
+	if b.Total() != 0 || b.DRAMShare() != 0 {
+		t.Errorf("empty run has energy %v", b)
+	}
+}
+
+// TestSavingsTrackTraffic reproduces the Section VI-F claim end-to-end:
+// IR-ORAM's memory-energy saving is proportional to its traffic reduction.
+func TestSavingsTrackTraffic(t *testing.T) {
+	run := func(sch config.Scheme) sim.Result {
+		cfg := config.Tiny().WithScheme(sch)
+		s, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := trace.MustBenchmark("dee", cfg.ORAM.DataBlocks(), 1)
+		return s.Run(gen, 2500)
+	}
+	base := Estimate(run(config.Baseline()), DefaultCosts())
+	ir := Estimate(run(config.IROramScheme()), DefaultCosts())
+	if ir.Total() >= base.Total() {
+		t.Errorf("IR-ORAM energy %.3f mJ >= baseline %.3f mJ", ir.Total(), base.Total())
+	}
+	if base.DRAMShare() < 0.7 || ir.DRAMShare() < 0.7 {
+		t.Errorf("DRAM shares %.2f / %.2f below the paper's regime",
+			base.DRAMShare(), ir.DRAMShare())
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"iroram/internal/config"
+	"iroram/internal/sim"
+	"iroram/internal/stats"
+	"iroram/internal/trace"
+)
+
+// CoRun measures ORAM-sharing interference, the server scenario that
+// motivates the paper (Section I cites Wang et al.'s co-running study and
+// the covert-channel risk of per-application T values): two programs share
+// one ORAM controller, polluting each other's PLB, stash and tree top.
+//
+// For each pair the table reports the interference factor
+//
+//	T(co-run of A+B) / (T(A solo) + T(B solo))
+//
+// where each member contributes half of opts.Requests: 1.0 means the shared
+// controller time-slices perfectly; above 1.0 is destructive interference.
+// The comparison is run under Baseline and IR-ORAM — reduced memory
+// intensity leaves more slack for the co-runner.
+func CoRun(opts Options, pairs [][2]string) (*stats.Table, error) {
+	if len(pairs) == 0 {
+		pairs = [][2]string{{"gcc", "mcf"}, {"mcf", "lbm"}, {"dee", "bla"}}
+	}
+	rows := make([]string, len(pairs))
+	for i, p := range pairs {
+		rows[i] = fmt.Sprintf("%s+%s", p[0], p[1])
+	}
+	t := stats.NewTable("Co-run: ORAM sharing interference factor", rows...)
+
+	for _, sch := range []config.Scheme{config.Baseline(), config.IROramScheme()} {
+		vals := make([]float64, len(pairs))
+		for i, p := range pairs {
+			f, err := opts.interference(sch, p[0], p[1])
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = f
+		}
+		t.AddSeries(sch.Name, vals)
+	}
+	return t, nil
+}
+
+func (o Options) interference(sch config.Scheme, a, b string) (float64, error) {
+	half := o.Requests / 2
+	solo := func(bench string) (uint64, error) {
+		cfg := o.Base.WithScheme(sch)
+		cfg.Seed = o.Seed
+		s, err := sim.New(cfg)
+		if err != nil {
+			return 0, err
+		}
+		gen, err := o.genFor(bench, cfg.ORAM.DataBlocks())
+		if err != nil {
+			return 0, err
+		}
+		return s.Run(gen, half).Cycles, nil
+	}
+	ta, err := solo(a)
+	if err != nil {
+		return 0, err
+	}
+	tb, err := solo(b)
+	if err != nil {
+		return 0, err
+	}
+	cfg := o.Base.WithScheme(sch)
+	cfg.Seed = o.Seed
+	s, err := sim.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	ga, err := o.genFor(a, cfg.ORAM.DataBlocks())
+	if err != nil {
+		return 0, err
+	}
+	gb, err := o.genFor(b, cfg.ORAM.DataBlocks())
+	if err != nil {
+		return 0, err
+	}
+	mixed := s.Run(trace.NewMix(a+"+"+b, ga, gb), 2*half)
+	return float64(mixed.Cycles) / float64(ta+tb), nil
+}
+
+// FutureWork evaluates the Section IV-D extension the paper defers: IR-ORAM
+// over an LLC-D baseline with dummy paths converted to proactive PosMap
+// prefetches for LLC LRU entries. Speedups are over the plain LLC-D
+// baseline, next to the Fig 11 combination for reference.
+func FutureWork(opts Options) (*stats.Table, error) {
+	benches := opts.benchmarks()
+	rows := append(append([]string{}, benches...), "gmean")
+	t := stats.NewTable("Future work (Section IV-D): proactive remapping over LLC-D", rows...)
+
+	llcd := make([]float64, len(benches))
+	for i, b := range benches {
+		res, err := opts.runOne(config.LLCDScheme(), b)
+		if err != nil {
+			return nil, err
+		}
+		llcd[i] = float64(res.Cycles)
+	}
+	for _, sch := range []config.Scheme{config.IRStashAllocOnLLCD(), config.IROramOnLLCD()} {
+		vals := make([]float64, len(benches))
+		var prefetches float64
+		for i, b := range benches {
+			res, err := opts.runOne(sch, b)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = llcd[i] / float64(res.Cycles)
+			prefetches += float64(res.ORAM.ProactiveRemaps)
+		}
+		vals = append(vals, stats.GeoMean(vals))
+		t.AddSeries(sch.Name, vals)
+		_ = prefetches
+	}
+	return t, nil
+}

@@ -1,0 +1,114 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI) plus the motivation studies (Section III). Each
+// driver is a pure function of an Options value and returns a stats.Table
+// whose rows/series mirror what the paper plots; cmd/experiments prints
+// them and EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+
+	"iroram/internal/config"
+	"iroram/internal/sim"
+	"iroram/internal/trace"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	// Base is the system geometry; scheme and Z profile are overridden per
+	// run by the figure drivers.
+	Base config.System
+	// Requests is the number of trace records consumed per run.
+	Requests int
+	// Seed drives traces and ORAM randomness.
+	Seed uint64
+	// Benchmarks defaults to the 13 Table II programs.
+	Benchmarks []string
+}
+
+// Default returns the scaled full-fidelity options used by cmd/experiments.
+func Default() Options {
+	return Options{Base: config.Scaled(), Requests: 30000, Seed: 1}
+}
+
+// Quick returns reduced options for tests and benchmarks: tiny geometry,
+// short traces, three representative benchmarks (low-intensity gcc,
+// read-chasing mcf, write-streaming lbm).
+func Quick() Options {
+	return Options{
+		Base:       config.Tiny(),
+		Requests:   2000,
+		Seed:       1,
+		Benchmarks: []string{"gcc", "mcf", "lbm"},
+	}
+}
+
+func (o Options) benchmarks() []string {
+	if len(o.Benchmarks) > 0 {
+		return o.Benchmarks
+	}
+	return trace.BenchmarkNames()
+}
+
+// genFor builds the workload generator named by bench ("mix", "random", or
+// a Table II benchmark) over the configured protected space.
+func (o Options) genFor(bench string, universe uint64) (trace.Generator, error) {
+	switch bench {
+	case "mix":
+		return trace.PaperMix(universe, o.Seed), nil
+	case "random":
+		return trace.Random(universe, 0.5, o.Seed), nil
+	default:
+		return trace.Benchmark(bench, universe, o.Seed)
+	}
+}
+
+// runOne executes one (scheme, benchmark) cell and returns its result.
+func (o Options) runOne(sch config.Scheme, bench string) (sim.Result, error) {
+	cfg := o.Base.WithScheme(sch)
+	cfg.Seed = o.Seed
+	s, err := sim.New(cfg)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("experiments: %s/%s: %w", sch.Name, bench, err)
+	}
+	gen, err := o.genFor(bench, cfg.ORAM.DataBlocks())
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return s.Run(gen, o.Requests), nil
+}
+
+// runProfile is runOne with an explicit Z profile override (Fig 12/16).
+func (o Options) runProfile(sch config.Scheme, prof config.ZProfile, bench string) (sim.Result, error) {
+	cfg := o.Base.WithScheme(sch)
+	cfg.ORAM.Z = prof
+	cfg.Seed = o.Seed
+	s, err := sim.New(cfg)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("experiments: %s/%s: %w", sch.Name, bench, err)
+	}
+	gen, err := o.genFor(bench, cfg.ORAM.DataBlocks())
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return s.Run(gen, o.Requests), nil
+}
+
+// speedups converts per-row cycle counts into "vs baseline" speedups.
+func speedups(base, scheme []float64) []float64 {
+	out := make([]float64, len(base))
+	for i := range base {
+		if scheme[i] > 0 {
+			out[i] = base[i] / scheme[i]
+		}
+	}
+	return out
+}
+
+func levelRows(levels int) []string {
+	rows := make([]string, levels)
+	for l := range rows {
+		rows[l] = fmt.Sprintf("L%02d", l)
+	}
+	return rows
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"iroram/internal/config"
+	"iroram/internal/stats"
+)
+
+// Ring evaluates the Section VII orthogonality claim: Ring ORAM (Ren et
+// al.) as an alternative read protocol, alone and composed with the
+// IR-Alloc bucket-size profile. Reported per benchmark: speedup over the
+// Path ORAM Baseline and the DRAM blocks moved per access (the bandwidth
+// metric both designs fight over).
+func Ring(opts Options) (*stats.Table, error) {
+	benches := opts.benchmarks()
+	rows := append(append([]string{}, benches...), "gmean")
+	t := stats.NewTable("Ring ORAM integration (Section VII)", rows...)
+
+	base := make([]float64, len(benches))
+	for i, b := range benches {
+		res, err := opts.runOne(config.Baseline(), b)
+		if err != nil {
+			return nil, err
+		}
+		base[i] = float64(res.Cycles)
+	}
+	for _, sch := range []config.Scheme{config.RingScheme(), config.RingIRAlloc()} {
+		speed := make([]float64, len(benches))
+		blocks := make([]float64, len(benches))
+		for i, b := range benches {
+			res, err := opts.runOne(sch, b)
+			if err != nil {
+				return nil, err
+			}
+			speed[i] = base[i] / float64(res.Cycles)
+			if total := res.ORAM.Paths.Total(); total > 0 {
+				blocks[i] = float64(res.ORAM.Paths.BlocksRead+res.ORAM.Paths.BlocksWrit) /
+					float64(total)
+			}
+		}
+		gm := stats.GeoMean(speed)
+		t.AddSeries(sch.Name+" speedup", append(append([]float64{}, speed...), gm))
+		t.AddSeries(sch.Name+" blk/acc", append(append([]float64{}, blocks...), stats.Mean(blocks)))
+	}
+	return t, nil
+}

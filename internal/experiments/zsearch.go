@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"iroram/internal/config"
+)
+
+// SearchStep records one accepted move of the greedy Z search.
+type SearchStep struct {
+	Level   int
+	NewZ    int
+	Cycles  uint64
+	BgEvict uint64
+}
+
+// ZSearch implements the greedy bucket-size search of Section IV-B: starting
+// from Z=4 everywhere with Z=3 at the first bottom-band level, it repeatedly
+// shrinks the cheapest middle level, accepting a move only while
+//
+//   - the DRAM space reduction stays within 1%, and
+//   - background evictions grow by at most 15% over the uniform baseline,
+//
+// both evaluated on random memory traces (the worst case for middle-level
+// utilization). The search depends only on the ORAM configuration — not on
+// applications — so it runs once per deployment.
+func ZSearch(opts Options) (config.ZProfile, []SearchStep, error) {
+	o := opts.Base.ORAM
+	base := config.Uniform(o.Levels, 4)
+
+	evaluate := func(prof config.ZProfile) (cycles, bgEvict uint64, err error) {
+		res, err := opts.runProfile(config.IRAllocScheme(), prof, "random")
+		if err != nil {
+			return 0, 0, err
+		}
+		return res.Cycles, res.ORAM.BgEvictions, nil
+	}
+
+	baseCycles, baseBg, err := evaluate(base)
+	if err != nil {
+		return nil, nil, err
+	}
+	bgLimit := baseBg + baseBg*15/100
+	if bgLimit < baseBg+4 {
+		bgLimit = baseBg + 4 // headroom for near-zero baselines at small scale
+	}
+
+	current := append(config.ZProfile(nil), base...)
+	// The paper's starting point: Z=3 at the first bottom-band level
+	// ("level 19" at L=25, i.e. 6 levels above the leaves).
+	if start := o.Levels - 6; start >= o.TopLevels {
+		cand := append(config.ZProfile(nil), current...)
+		cand[start] = 3
+		if cyc, bg, err := evaluate(cand); err != nil {
+			return nil, nil, err
+		} else if bg <= bgLimit && cand.SpaceReductionVs(base, o.TopLevels) < 0.01 {
+			current = cand
+			baseCycles = cyc
+		}
+	}
+
+	var steps []SearchStep
+	for iter := 0; iter < 4*o.Levels; iter++ {
+		type move struct {
+			level  int
+			cycles uint64
+			bg     uint64
+		}
+		var best *move
+		// Shrink middle levels top-down: upper levels hold the least data,
+		// so they are the cheapest to shrink (the paper's "gradually
+		// shrink lower levels" greedy order, expressed leaf-relative).
+		for l := o.TopLevels; l < o.Levels-1; l++ {
+			if current[l] <= 1 {
+				continue
+			}
+			cand := append(config.ZProfile(nil), current...)
+			cand[l]--
+			if cand.SpaceReductionVs(base, o.TopLevels) >= 0.01 {
+				continue
+			}
+			cyc, bg, err := evaluate(cand)
+			if err != nil {
+				return nil, nil, err
+			}
+			if bg > bgLimit {
+				continue
+			}
+			if cyc < baseCycles && (best == nil || cyc < best.cycles) {
+				best = &move{level: l, cycles: cyc, bg: bg}
+			}
+		}
+		if best == nil {
+			break // local maximum in performance improvement
+		}
+		current[best.level]--
+		baseCycles = best.cycles
+		steps = append(steps, SearchStep{
+			Level: best.level, NewZ: current[best.level],
+			Cycles: best.cycles, BgEvict: best.bg,
+		})
+	}
+	return current, steps, nil
+}
+
+// DescribeProfile renders a profile as compact level ranges, e.g.
+// "Z=2@[10,16] Z=3@[17,19] Z=4@[20,24]".
+func DescribeProfile(p config.ZProfile, topLevels int) string {
+	out := ""
+	l := topLevels
+	for l < len(p) {
+		r := l
+		for r+1 < len(p) && p[r+1] == p[l] {
+			r++
+		}
+		if out != "" {
+			out += " "
+		}
+		out += fmt.Sprintf("Z=%d@[%d,%d]", p[l], l, r)
+		l = r + 1
+	}
+	return out
+}

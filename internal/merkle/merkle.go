@@ -1,0 +1,168 @@
+// Package merkle implements the integrity tree the paper's threat model
+// assumes (Section II-A: "A Merkle tree is built on the user data to
+// prevent unauthorized changes", Gassend et al.). The per-slot MACs of
+// internal/sealer authenticate contents and bind them to positions, but
+// they cannot stop an attacker from *replaying* an old (slot, counter,
+// ciphertext) triple — freshness needs a root of trust. This package keeps
+// a hash tree over arbitrary leaf digests with only the root stored in the
+// TCB; the ObliviousStore wires bucket digests into it so replayed or
+// reordered memory is detected on the next path access.
+//
+// The tree shape intentionally mirrors the ORAM tree: one leaf per ORAM
+// bucket, so a path access verifies and updates exactly the ancestor chain
+// it touched — the O(log N) integrity traffic real secure processors pay.
+package merkle
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// DigestSize is the node digest size in bytes.
+const DigestSize = sha256.Size
+
+// Digest is one tree node's hash.
+type Digest [DigestSize]byte
+
+// ErrMismatch reports a failed verification: the stored data is not what
+// the root of trust committed to.
+var ErrMismatch = errors.New("merkle: digest mismatch")
+
+// Tree is a binary hash tree over n leaves (padded to a power of two).
+// Interior nodes are stored in untrusted-equivalent memory (the attacker
+// model lets them be read, but any tampering changes the root); only Root()
+// belongs in the TCB.
+type Tree struct {
+	leaves int
+	size   int // leaves padded to a power of two
+	// nodes is heap-indexed: nodes[1] is the root, leaf i is nodes[size+i].
+	nodes []Digest
+}
+
+// New builds a tree over leaves zero-valued leaf digests.
+func New(leaves int) (*Tree, error) {
+	if leaves <= 0 {
+		return nil, fmt.Errorf("merkle: %d leaves", leaves)
+	}
+	size := 1
+	for size < leaves {
+		size <<= 1
+	}
+	t := &Tree{leaves: leaves, size: size, nodes: make([]Digest, 2*size)}
+	// Build the initial tree bottom-up over zero leaves.
+	for i := size - 1; i >= 1; i-- {
+		t.nodes[i] = hashPair(t.nodes[2*i], t.nodes[2*i+1])
+	}
+	return t, nil
+}
+
+func hashPair(l, r Digest) Digest {
+	h := sha256.New()
+	h.Write(l[:])
+	h.Write(r[:])
+	var out Digest
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// LeafDigest hashes application data (with its leaf index bound in) into a
+// leaf digest.
+func LeafDigest(index int, data []byte) Digest {
+	h := sha256.New()
+	var idx [8]byte
+	binary.LittleEndian.PutUint64(idx[:], uint64(index))
+	h.Write(idx[:])
+	h.Write(data)
+	var out Digest
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Leaves returns the leaf count.
+func (t *Tree) Leaves() int { return t.leaves }
+
+// Root returns the current root digest — the only value that must live in
+// trusted storage.
+func (t *Tree) Root() Digest { return t.nodes[1] }
+
+// Update sets leaf index to d and recomputes its ancestor chain (O(log N)).
+func (t *Tree) Update(index int, d Digest) error {
+	if index < 0 || index >= t.leaves {
+		return fmt.Errorf("merkle: leaf %d out of [0,%d)", index, t.leaves)
+	}
+	i := t.size + index
+	t.nodes[i] = d
+	for i >>= 1; i >= 1; i >>= 1 {
+		t.nodes[i] = hashPair(t.nodes[2*i], t.nodes[2*i+1])
+	}
+	return nil
+}
+
+// Verify checks that leaf index currently holds d by walking its ancestor
+// chain against the trusted root, exactly the check a secure processor
+// performs per fetched block.
+func (t *Tree) Verify(index int, d Digest) error {
+	if index < 0 || index >= t.leaves {
+		return fmt.Errorf("merkle: leaf %d out of [0,%d)", index, t.leaves)
+	}
+	i := t.size + index
+	cur := d
+	for ; i > 1; i >>= 1 {
+		var sib Digest
+		if i%2 == 0 {
+			sib = t.nodes[i+1]
+			cur = hashPair(cur, sib)
+		} else {
+			sib = t.nodes[i-1]
+			cur = hashPair(sib, cur)
+		}
+	}
+	if cur != t.nodes[1] {
+		return fmt.Errorf("%w: leaf %d", ErrMismatch, index)
+	}
+	return nil
+}
+
+// Proof returns the sibling chain for leaf index, for external verifiers
+// holding only the root.
+func (t *Tree) Proof(index int) ([]Digest, error) {
+	if index < 0 || index >= t.leaves {
+		return nil, fmt.Errorf("merkle: leaf %d out of [0,%d)", index, t.leaves)
+	}
+	var proof []Digest
+	for i := t.size + index; i > 1; i >>= 1 {
+		proof = append(proof, t.nodes[i^1])
+	}
+	return proof, nil
+}
+
+// VerifyProof checks a (leaf digest, proof) pair against a root, without
+// access to the tree.
+func VerifyProof(root Digest, index int, d Digest, proof []Digest) error {
+	cur := d
+	for _, sib := range proof {
+		if index%2 == 0 {
+			cur = hashPair(cur, sib)
+		} else {
+			cur = hashPair(sib, cur)
+		}
+		index >>= 1
+	}
+	if cur != root {
+		return ErrMismatch
+	}
+	return nil
+}
+
+// Tamper corrupts a stored interior node (test hook for the attacker who
+// rewrites untrusted metadata). It returns false if the node index is out
+// of range.
+func (t *Tree) Tamper(node int) bool {
+	if node < 1 || node >= len(t.nodes) {
+		return false
+	}
+	t.nodes[node][0] ^= 0xFF
+	return true
+}

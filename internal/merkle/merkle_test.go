@@ -1,0 +1,164 @@
+package merkle
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTreeConsistent(t *testing.T) {
+	tr, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zero Digest
+	for i := 0; i < 10; i++ {
+		if err := tr.Verify(i, zero); err != nil {
+			t.Errorf("leaf %d of fresh tree fails: %v", i, err)
+		}
+	}
+}
+
+func TestUpdateThenVerify(t *testing.T) {
+	tr, _ := New(16)
+	d := LeafDigest(3, []byte("hello"))
+	if err := tr.Update(3, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Verify(3, d); err != nil {
+		t.Errorf("verify after update: %v", err)
+	}
+	if err := tr.Verify(3, LeafDigest(3, []byte("other"))); !errors.Is(err, ErrMismatch) {
+		t.Errorf("wrong digest accepted: %v", err)
+	}
+}
+
+func TestReplayDetected(t *testing.T) {
+	// The attack sealer MACs cannot stop: write v1, remember it, write v2,
+	// then "replay" v1. The root has moved on, so v1 must fail.
+	tr, _ := New(8)
+	v1 := LeafDigest(5, []byte("v1"))
+	v2 := LeafDigest(5, []byte("v2"))
+	tr.Update(5, v1)
+	tr.Update(5, v2)
+	if err := tr.Verify(5, v1); !errors.Is(err, ErrMismatch) {
+		t.Errorf("replayed old version accepted: %v", err)
+	}
+	if err := tr.Verify(5, v2); err != nil {
+		t.Errorf("current version rejected: %v", err)
+	}
+}
+
+func TestRootChangesOnEveryUpdate(t *testing.T) {
+	tr, _ := New(32)
+	seen := map[Digest]bool{tr.Root(): true}
+	for i := 0; i < 32; i++ {
+		tr.Update(i, LeafDigest(i, []byte{byte(i)}))
+		r := tr.Root()
+		if seen[r] {
+			t.Fatalf("root repeated after update %d", i)
+		}
+		seen[r] = true
+	}
+}
+
+func TestInteriorTamperDetected(t *testing.T) {
+	tr, _ := New(8)
+	d := LeafDigest(2, []byte("x"))
+	tr.Update(2, d)
+	// Corrupt an interior node the leaf's verification path crosses. The
+	// root (nodes[1]) is trusted, so tamper below it.
+	if !tr.Tamper(2) && !tr.Tamper(3) {
+		t.Fatal("tamper failed")
+	}
+	bad := 0
+	for i := 0; i < 8; i++ {
+		var want Digest
+		if i == 2 {
+			want = d
+		}
+		if err := tr.Verify(i, want); err != nil {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Error("interior tampering went completely undetected")
+	}
+}
+
+func TestProofRoundTrip(t *testing.T) {
+	tr, _ := New(20)
+	for i := 0; i < 20; i++ {
+		tr.Update(i, LeafDigest(i, []byte{byte(i), byte(i >> 1)}))
+	}
+	root := tr.Root()
+	for i := 0; i < 20; i++ {
+		proof, err := tr.Proof(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := LeafDigest(i, []byte{byte(i), byte(i >> 1)})
+		if err := VerifyProof(root, i, d, proof); err != nil {
+			t.Errorf("leaf %d proof rejected: %v", i, err)
+		}
+		// A proof for the wrong leaf must fail.
+		if i > 0 {
+			if err := VerifyProof(root, i-1, d, proof); err == nil {
+				t.Errorf("leaf %d proof verified under wrong index", i)
+			}
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero-leaf tree accepted")
+	}
+	tr, _ := New(4)
+	var d Digest
+	if err := tr.Update(4, d); err == nil {
+		t.Error("out-of-range update accepted")
+	}
+	if err := tr.Verify(-1, d); err == nil {
+		t.Error("negative verify accepted")
+	}
+	if _, err := tr.Proof(9); err == nil {
+		t.Error("out-of-range proof accepted")
+	}
+	if tr.Tamper(0) || tr.Tamper(1000) {
+		t.Error("out-of-range tamper accepted")
+	}
+}
+
+func TestLeafDigestBindsIndex(t *testing.T) {
+	if LeafDigest(1, []byte("a")) == LeafDigest(2, []byte("a")) {
+		t.Error("leaf digest does not bind the index")
+	}
+}
+
+// TestUpdateVerifyProperty: random update sequences keep every current leaf
+// verifiable and every stale value rejected.
+func TestUpdateVerifyProperty(t *testing.T) {
+	check := func(ops []uint16) bool {
+		tr, _ := New(16)
+		current := make(map[int][]byte)
+		for n, op := range ops {
+			idx := int(op % 16)
+			data := []byte{byte(op >> 8), byte(n)}
+			old, had := current[idx]
+			tr.Update(idx, LeafDigest(idx, data))
+			current[idx] = data
+			if tr.Verify(idx, LeafDigest(idx, data)) != nil {
+				return false
+			}
+			if had && string(old) != string(data) &&
+				tr.Verify(idx, LeafDigest(idx, old)) == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

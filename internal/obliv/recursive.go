@@ -1,0 +1,144 @@
+package obliv
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// entriesPerPosBlock is how many 4-byte leaf entries fit one position-map
+// block (the Freecursive fanout of 16 for 64 B blocks).
+const (
+	posEntryBytes      = 4
+	posBlockSize       = 64
+	entriesPerPosBlock = posBlockSize / posEntryBytes
+)
+
+// RecursiveStore is a functional Path ORAM whose position map itself lives
+// in a second, 16x-smaller Path ORAM (one Freecursive recursion level), so
+// persistent client state shrinks from one leaf per block to one leaf per
+// 16 blocks plus the stashes. Every data access costs exactly two path
+// accesses — one in the position-map store (a read-modify-write of the
+// entry) and one in the data store — again independent of address,
+// operation, and hit/miss.
+type RecursiveStore struct {
+	// Data is the payload store; its position map is ORAM-backed.
+	Data *Store
+	// PM is the position-map store (client-memory position map).
+	PM *Store
+}
+
+// oramPosMap adapts the PM store to the Data store's PositionMap interface.
+type oramPosMap struct {
+	pm *Store
+}
+
+func (o *oramPosMap) entry(addr uint64) (blk uint64, off int) {
+	return addr / entriesPerPosBlock, int(addr%entriesPerPosBlock) * posEntryBytes
+}
+
+// Peek reads the entry with one PM-store access.
+func (o *oramPosMap) Peek(addr uint64) (uint32, error) {
+	blk, off := o.entry(addr)
+	buf, err := o.pm.Read(blk)
+	if err != nil {
+		if isNotFound(err) {
+			return noLeaf, nil
+		}
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[off : off+posEntryBytes]), nil
+}
+
+// Swap updates the entry in a single PM-store read-modify-write access and
+// returns the previous leaf — the Freecursive one-access-per-level cost.
+func (o *oramPosMap) Swap(addr uint64, newLeaf uint32) (uint32, error) {
+	blk, off := o.entry(addr)
+	old := noLeaf
+	err := o.pm.Update(blk, func(cur []byte) []byte {
+		next := make([]byte, posBlockSize)
+		if cur == nil {
+			for i := range next {
+				next[i] = 0xFF // all entries start at noLeaf
+			}
+		} else {
+			copy(next, cur)
+		}
+		old = binary.LittleEndian.Uint32(next[off : off+posEntryBytes])
+		binary.LittleEndian.PutUint32(next[off:off+posEntryBytes], newLeaf)
+		return next
+	})
+	if err != nil {
+		return 0, err
+	}
+	return old, nil
+}
+
+func isNotFound(err error) bool {
+	for e := err; e != nil; {
+		if e == ErrNotFound {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// NewRecursiveStore builds the two-level construction. The PM store derives
+// its sealing key from cfg.Key so the two trees never share key streams.
+func NewRecursiveStore(cfg Config) (*RecursiveStore, error) {
+	if cfg.BlockSize <= 0 || cfg.Blocks == 0 {
+		return nil, fmt.Errorf("obliv: invalid recursive config %+v", cfg)
+	}
+	if cfg.PosMap != nil {
+		return nil, fmt.Errorf("obliv: recursive store supplies its own position map")
+	}
+	pmBlocks := (cfg.Blocks + entriesPerPosBlock - 1) / entriesPerPosBlock
+	pmCfg := Config{
+		Blocks:     pmBlocks,
+		BlockSize:  posBlockSize,
+		Z:          cfg.Z,
+		StashLimit: cfg.StashLimit,
+		Key:        deriveKey(cfg.Key, "posmap"),
+		Seed:       cfg.Seed ^ 0x9E3779B97F4A7C15,
+		Integrity:  cfg.Integrity,
+	}
+	pm, err := NewStore(pmCfg)
+	if err != nil {
+		return nil, fmt.Errorf("obliv: posmap store: %w", err)
+	}
+	dataCfg := cfg
+	dataCfg.PosMap = &oramPosMap{pm: pm}
+	data, err := NewStore(dataCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &RecursiveStore{Data: data, PM: pm}, nil
+}
+
+// deriveKey expands the master key into an independent 32-byte subkey.
+func deriveKey(master []byte, label string) []byte {
+	mac := hmac.New(sha256.New, master)
+	mac.Write([]byte(label))
+	return mac.Sum(nil)
+}
+
+// Read returns the payload of addr (two path accesses: PM then Data).
+func (r *RecursiveStore) Read(addr uint64) ([]byte, error) {
+	return r.Data.Read(addr)
+}
+
+// Write stores payload at addr (two path accesses).
+func (r *RecursiveStore) Write(addr uint64, payload []byte) error {
+	return r.Data.Write(addr, payload)
+}
+
+// Accesses returns (data, posmap) path-access counts.
+func (r *RecursiveStore) Accesses() (data, pm uint64) {
+	return r.Data.Accesses, r.PM.Accesses
+}

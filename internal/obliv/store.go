@@ -1,0 +1,422 @@
+// Package obliv is a functional Path ORAM: a working oblivious block store
+// over sealed (AES-CTR + HMAC) memory. Where internal/core models the
+// *timing* of a hardware ORAM controller, this package implements the
+// *data path* — real bytes move through a real tree, every slot is
+// encrypted and authenticated, and dummy blocks are indistinguishable from
+// real ones. It backs the public ObliviousStore API and the
+// examples/obliviousstore program.
+//
+// The position map is kept in memory (the client-side simplification of
+// Stefanov et al.'s original protocol); the recursive construction is what
+// internal/core models, where its cost is the point of the paper.
+package obliv
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"iroram/internal/merkle"
+	"iroram/internal/rng"
+	"iroram/internal/sealer"
+)
+
+// ErrNotFound reports a read of a block that was never written.
+var ErrNotFound = errors.New("obliv: block not found")
+
+// Each block's header carries its address and its assigned leaf — as in
+// Path ORAM, where the (addr, leaf) pair travels with the block so a path
+// read never needs position-map lookups for the bystander blocks it moves.
+const headerBytes = 8 + 4 // address + leaf; address invalidAddr marks dummies
+
+const invalidAddr = ^uint64(0)
+
+// PositionMap is the block->leaf mapping of a Store. The default keeps it
+// in client memory; NewRecursiveStore supplies one backed by a second,
+// smaller Store (Freecursive-style recursion), shrinking client state.
+type PositionMap interface {
+	// Peek returns the current leaf of addr (noLeaf if never written).
+	Peek(addr uint64) (uint32, error)
+	// Swap records newLeaf for addr and returns the previous leaf.
+	Swap(addr uint64, newLeaf uint32) (uint32, error)
+}
+
+// memPosMap is the default in-client-memory position map.
+type memPosMap []uint32
+
+func newMemPosMap(blocks uint64) memPosMap {
+	m := make(memPosMap, blocks)
+	for i := range m {
+		m[i] = noLeaf
+	}
+	return m
+}
+
+func (m memPosMap) Peek(addr uint64) (uint32, error) { return m[addr], nil }
+
+func (m memPosMap) Swap(addr uint64, newLeaf uint32) (uint32, error) {
+	old := m[addr]
+	m[addr] = newLeaf
+	return old, nil
+}
+
+// Config sizes a Store.
+type Config struct {
+	// Blocks is the number of user blocks to support.
+	Blocks uint64
+	// BlockSize is the user payload size in bytes.
+	BlockSize int
+	// Z is the bucket size (4 if zero).
+	Z int
+	// StashLimit triggers background eviction (128 if zero).
+	StashLimit int
+	// Key is the 32-byte sealing key.
+	Key []byte
+	// Seed drives leaf assignment. In production this must come from a
+	// CSPRNG; the deterministic generator keeps tests reproducible.
+	Seed uint64
+	// PosMap overrides the position map implementation (nil keeps the
+	// default client-memory map).
+	PosMap PositionMap
+	// Integrity enables the Merkle tree over buckets (Section II-A's
+	// assumed hardware). Per-slot MACs already stop forgery and
+	// relocation; the hash tree additionally stops replay of stale
+	// bucket contents, at one ancestor-chain verify+update per bucket
+	// touched.
+	Integrity bool
+}
+
+type entry struct {
+	leaf uint32
+	data []byte
+}
+
+// Store is a functional Path ORAM instance.
+type Store struct {
+	levels    int
+	z         int
+	blockSize int
+	leafCount uint64
+	sealer    *sealer.Sealer
+	// mem is the untrusted memory: one sealed blob per slot.
+	mem     [][]byte
+	counter uint64
+	blocks  uint64
+	pos     PositionMap
+	stash   map[uint64]entry
+	limit   int
+	rng     *rng.Source
+	// integrity is the hash tree over buckets; nil when disabled. Only its
+	// root is conceptually in the TCB.
+	integrity *merkle.Tree
+
+	// Accesses counts path accesses; Evictions counts background
+	// evictions — exposed for tests and stats.
+	Accesses  uint64
+	Evictions uint64
+}
+
+const noLeaf = ^uint32(0)
+
+// NewStore builds and initializes the tree: every slot starts as a sealed
+// dummy, so the initial memory image already leaks nothing.
+func NewStore(cfg Config) (*Store, error) {
+	if cfg.Blocks == 0 {
+		return nil, errors.New("obliv: zero capacity")
+	}
+	if cfg.BlockSize <= 0 {
+		return nil, errors.New("obliv: block size must be positive")
+	}
+	if cfg.Z == 0 {
+		cfg.Z = 4
+	}
+	if cfg.StashLimit == 0 {
+		cfg.StashLimit = 128
+	}
+	// Choose the smallest tree whose slot count is at least twice the user
+	// blocks (the paper's ~50% load rule).
+	levels := 2
+	for uint64(cfg.Z)*((uint64(1)<<uint(levels))-1) < 2*cfg.Blocks {
+		levels++
+		if levels > 40 {
+			return nil, fmt.Errorf("obliv: %d blocks is too large", cfg.Blocks)
+		}
+	}
+	sl, err := sealer.New(cfg.Key, headerBytes+cfg.BlockSize)
+	if err != nil {
+		return nil, err
+	}
+	pos := cfg.PosMap
+	if pos == nil {
+		pos = newMemPosMap(cfg.Blocks)
+	}
+	slots := uint64(cfg.Z) * ((uint64(1) << uint(levels)) - 1)
+	s := &Store{
+		levels:    levels,
+		z:         cfg.Z,
+		blockSize: cfg.BlockSize,
+		leafCount: uint64(1) << uint(levels-1),
+		sealer:    sl,
+		mem:       make([][]byte, slots),
+		blocks:    cfg.Blocks,
+		pos:       pos,
+		stash:     make(map[uint64]entry),
+		limit:     cfg.StashLimit,
+		rng:       rng.New(cfg.Seed),
+	}
+	dummy := make([]byte, headerBytes+cfg.BlockSize)
+	binary.LittleEndian.PutUint64(dummy[:headerBytes], invalidAddr)
+	for i := range s.mem {
+		s.counter++
+		sealed, err := sl.Seal(uint64(i), s.counter, dummy)
+		if err != nil {
+			return nil, err
+		}
+		s.mem[i] = sealed
+	}
+	if cfg.Integrity {
+		buckets := (1 << uint(levels)) - 1
+		tree, err := merkle.New(buckets)
+		if err != nil {
+			return nil, err
+		}
+		s.integrity = tree
+		for b := 0; b < buckets; b++ {
+			if err := s.commitBucket(b); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return s, nil
+}
+
+// bucketDigest folds a bucket's sealed slots into one Merkle leaf digest.
+func (s *Store) bucketDigest(bucket int) merkle.Digest {
+	lo := uint64(bucket) * uint64(s.z)
+	joined := make([]byte, 0, s.z*s.sealer.SealedSize())
+	for slot := lo; slot < lo+uint64(s.z); slot++ {
+		joined = append(joined, s.mem[slot]...)
+	}
+	return merkle.LeafDigest(bucket, joined)
+}
+
+// commitBucket records a bucket's current contents in the hash tree.
+func (s *Store) commitBucket(bucket int) error {
+	return s.integrity.Update(bucket, s.bucketDigest(bucket))
+}
+
+// verifyBucket checks a bucket against the root of trust before its slots
+// are decrypted — the freshness check per fetched bucket.
+func (s *Store) verifyBucket(bucket int) error {
+	return s.integrity.Verify(bucket, s.bucketDigest(bucket))
+}
+
+// Levels returns the tree height.
+func (s *Store) Levels() int { return s.levels }
+
+// StashLen returns the current stash occupancy.
+func (s *Store) StashLen() int { return len(s.stash) }
+
+func (s *Store) bucketOf(level int, leaf uint32) int {
+	idx := uint64(leaf) >> (uint(s.levels-1) - uint(level))
+	return int((uint64(1) << uint(level)) - 1 + idx)
+}
+
+func (s *Store) slotRange(level int, leaf uint32) (lo, hi uint64) {
+	lo = uint64(s.bucketOf(level, leaf)) * uint64(s.z)
+	return lo, lo + uint64(s.z)
+}
+
+// readPath decrypts and authenticates every slot on the path, moving real
+// blocks into the stash. With integrity enabled, each bucket is first
+// checked against the Merkle root so replayed memory is rejected.
+func (s *Store) readPath(leaf uint32) error {
+	for level := 0; level < s.levels; level++ {
+		if s.integrity != nil {
+			if err := s.verifyBucket(s.bucketOf(level, leaf)); err != nil {
+				return err
+			}
+		}
+		lo, hi := s.slotRange(level, leaf)
+		for slot := lo; slot < hi; slot++ {
+			pt, err := s.sealer.Open(slot, s.mem[slot])
+			if err != nil {
+				return fmt.Errorf("obliv: slot %d: %w", slot, err)
+			}
+			addr := binary.LittleEndian.Uint64(pt[:8])
+			if addr == invalidAddr {
+				continue
+			}
+			blkLeaf := binary.LittleEndian.Uint32(pt[8:headerBytes])
+			data := make([]byte, s.blockSize)
+			copy(data, pt[headerBytes:])
+			// The leaf travels in the block header; bystander blocks need
+			// no position-map lookups. If the block is already stashed
+			// (e.g. remapped while waiting), the stash copy is newer.
+			if _, stashed := s.stash[addr]; !stashed {
+				s.stash[addr] = entry{leaf: blkLeaf, data: data}
+			}
+		}
+	}
+	return nil
+}
+
+// writePath re-encrypts the path, pushing stash blocks as deep as their
+// leaves allow and patching dummies elsewhere.
+func (s *Store) writePath(leaf uint32) error {
+	buf := make([]byte, headerBytes+s.blockSize)
+	for level := s.levels - 1; level >= 0; level-- {
+		shift := uint(s.levels-1) - uint(level)
+		// Sorted candidate selection keeps runs reproducible (map order is
+		// randomized in Go).
+		var chosen []uint64
+		for addr, e := range s.stash {
+			if uint64(e.leaf)>>shift == uint64(leaf)>>shift {
+				chosen = append(chosen, addr)
+			}
+		}
+		sort.Slice(chosen, func(i, j int) bool { return chosen[i] < chosen[j] })
+		if len(chosen) > s.z {
+			chosen = chosen[:s.z]
+		}
+		lo, hi := s.slotRange(level, leaf)
+		ci := 0
+		for slot := lo; slot < hi; slot++ {
+			for i := range buf {
+				buf[i] = 0
+			}
+			if ci < len(chosen) {
+				addr := chosen[ci]
+				ci++
+				binary.LittleEndian.PutUint64(buf[:8], addr)
+				binary.LittleEndian.PutUint32(buf[8:headerBytes], s.stash[addr].leaf)
+				copy(buf[headerBytes:], s.stash[addr].data)
+				delete(s.stash, addr)
+			} else {
+				binary.LittleEndian.PutUint64(buf[:8], invalidAddr)
+			}
+			s.counter++
+			sealed, err := s.sealer.Seal(slot, s.counter, buf)
+			if err != nil {
+				return err
+			}
+			s.mem[slot] = sealed
+		}
+		if s.integrity != nil {
+			if err := s.commitBucket(s.bucketOf(level, leaf)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// access is the Path ORAM protocol: resolve-and-remap the position map,
+// read the old path, serve or mutate the block, write the path back, and
+// background-evict under stash pressure. mutate receives the current
+// payload (nil when the block was never written) and returns the new one;
+// nil mutate means a read. Misses still perform a full path access, so
+// even hit/miss is invisible in the trace.
+func (s *Store) access(addr uint64, mutate func(cur []byte) []byte) ([]byte, error) {
+	if addr >= s.blocks {
+		return nil, fmt.Errorf("obliv: address %d out of range [0,%d)", addr, s.blocks)
+	}
+	newLeaf := uint32(s.rng.Uint64n(s.leafCount))
+	old, err := s.pos.Swap(addr, newLeaf)
+	if err != nil {
+		return nil, err
+	}
+	leaf := old
+	fresh := old == noLeaf
+	if fresh {
+		leaf = uint32(s.rng.Uint64n(s.leafCount))
+	}
+	if err := s.readPath(leaf); err != nil {
+		return nil, err
+	}
+	s.Accesses++
+
+	var out []byte
+	e, ok := s.stash[addr]
+	switch {
+	case !ok && !fresh:
+		return nil, fmt.Errorf("obliv: block %d missing from path and stash (corrupted tree)", addr)
+	case !ok && mutate == nil:
+		// Read miss: finish the access uniformly, restore the unmapped
+		// state, and report not-found.
+		if err := s.writePath(leaf); err != nil {
+			return nil, err
+		}
+		if _, err := s.pos.Swap(addr, noLeaf); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: block %d", ErrNotFound, addr)
+	}
+	if mutate != nil {
+		var cur []byte
+		if ok {
+			cur = e.data
+		}
+		d := make([]byte, s.blockSize)
+		copy(d, mutate(cur))
+		e = entry{data: d}
+	} else {
+		out = make([]byte, s.blockSize)
+		copy(out, e.data)
+	}
+	e.leaf = newLeaf
+	s.stash[addr] = e
+
+	if err := s.writePath(leaf); err != nil {
+		return nil, err
+	}
+	for len(s.stash) > s.limit {
+		before := len(s.stash)
+		if err := s.evictOnce(); err != nil {
+			return nil, err
+		}
+		if len(s.stash) >= before {
+			break // no progress; extremely unlikely at 50% load
+		}
+	}
+	return out, nil
+}
+
+// evictOnce performs one background-eviction path access (random leaf).
+func (s *Store) evictOnce() error {
+	leaf := uint32(s.rng.Uint64n(s.leafCount))
+	if err := s.readPath(leaf); err != nil {
+		return err
+	}
+	s.Evictions++
+	return s.writePath(leaf)
+}
+
+// Read returns the payload of addr. The memory trace it produces is one
+// path read + one path write regardless of the address or hit/miss.
+func (s *Store) Read(addr uint64) ([]byte, error) {
+	return s.access(addr, nil)
+}
+
+// Write stores payload (truncated/zero-padded to the block size) at addr.
+func (s *Store) Write(addr uint64, payload []byte) error {
+	if len(payload) > s.blockSize {
+		return fmt.Errorf("obliv: payload %d bytes exceeds block size %d", len(payload), s.blockSize)
+	}
+	_, err := s.access(addr, func([]byte) []byte { return payload })
+	return err
+}
+
+// Update atomically transforms the payload of addr in a single path access
+// (a read-modify-write): fn receives the current payload, nil if the block
+// was never written, and returns the new payload. This is the primitive
+// position-map recursion is built on.
+func (s *Store) Update(addr uint64, fn func(cur []byte) []byte) error {
+	_, err := s.access(addr, fn)
+	return err
+}
+
+// MemoryImage exposes the sealed slot blobs (test hook: tampering with any
+// byte must be detected on the next path access through it).
+func (s *Store) MemoryImage() [][]byte { return s.mem }

@@ -1,0 +1,193 @@
+package obliv
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"iroram/internal/rng"
+)
+
+func testKey() []byte { return bytes.Repeat([]byte{3}, 32) }
+
+func newTestStore(t *testing.T, blocks uint64) *Store {
+	t.Helper()
+	s, err := NewStore(Config{Blocks: blocks, BlockSize: 64, Key: testKey(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := newTestStore(t, 256)
+	for i := uint64(0); i < 64; i++ {
+		payload := []byte(fmt.Sprintf("block-%d", i))
+		if err := s.Write(i, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 64; i++ {
+		got, err := s.Read(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("block-%d", i)
+		if string(bytes.TrimRight(got, "\x00")) != want {
+			t.Fatalf("block %d: got %q", i, got)
+		}
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s := newTestStore(t, 64)
+	if err := s.Write(7, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(7, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bytes.TrimRight(got, "\x00")) != "new" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestReadUnwritten(t *testing.T) {
+	s := newTestStore(t, 64)
+	if _, err := s.Read(5); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	s := newTestStore(t, 64)
+	if err := s.Write(64, []byte("x")); err == nil {
+		t.Fatal("out-of-range write accepted")
+	}
+	if _, err := s.Read(99); err == nil {
+		t.Fatal("out-of-range read accepted")
+	}
+}
+
+func TestPayloadTooLarge(t *testing.T) {
+	s := newTestStore(t, 64)
+	if err := s.Write(0, make([]byte, 65)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	s := newTestStore(t, 64)
+	if err := s.Write(0, []byte("secret")); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one byte of every slot: any subsequent access that touches a
+	// corrupted slot must fail authentication.
+	img := s.MemoryImage()
+	for i := range img {
+		img[i][len(img[i])/2] ^= 0xFF
+	}
+	if _, err := s.Read(0); err == nil {
+		t.Fatal("tampered memory went undetected")
+	}
+}
+
+func TestStashBounded(t *testing.T) {
+	s := newTestStore(t, 1024)
+	r := rng.New(9)
+	for i := 0; i < 3000; i++ {
+		a := r.Uint64n(1024)
+		if r.Bool(0.5) {
+			if err := s.Write(a, []byte{byte(a)}); err != nil {
+				t.Fatal(err)
+			}
+		} else if _, err := s.Read(a); err != nil && !errors.Is(err, ErrNotFound) {
+			t.Fatal(err)
+		}
+	}
+	if s.StashLen() > 256 {
+		t.Fatalf("stash grew to %d", s.StashLen())
+	}
+}
+
+func TestAccessCountUniform(t *testing.T) {
+	// Obliviousness at the protocol level: every access is exactly one
+	// path read+write (plus occasional background evictions) regardless of
+	// address or operation.
+	s := newTestStore(t, 256)
+	before := s.Accesses
+	if err := s.Write(0, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Accesses != before+1 {
+		t.Fatalf("write issued %d accesses", s.Accesses-before)
+	}
+	before = s.Accesses
+	if _, err := s.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Accesses != before+1 {
+		t.Fatalf("read issued %d accesses", s.Accesses-before)
+	}
+}
+
+func TestDeterministicImage(t *testing.T) {
+	build := func() [][]byte {
+		s, err := NewStore(Config{Blocks: 128, BlockSize: 32, Key: testKey(), Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := uint64(0); i < 32; i++ {
+			if err := s.Write(i, []byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return s.MemoryImage()
+	}
+	a, b := build(), build()
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("slot %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	s := newTestStore(t, 512)
+	written := map[uint64][]byte{}
+	check := func(addr16 uint16, payload []byte) bool {
+		addr := uint64(addr16) % 512
+		if len(payload) > 64 {
+			payload = payload[:64]
+		}
+		if err := s.Write(addr, payload); err != nil {
+			return false
+		}
+		stored := make([]byte, 64)
+		copy(stored, payload)
+		written[addr] = stored
+		got, err := s.Read(addr)
+		return err == nil && bytes.Equal(got, written[addr])
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	if _, err := NewStore(Config{Blocks: 0, BlockSize: 64, Key: testKey()}); err == nil {
+		t.Error("zero blocks accepted")
+	}
+	if _, err := NewStore(Config{Blocks: 10, BlockSize: 0, Key: testKey()}); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := NewStore(Config{Blocks: 10, BlockSize: 64, Key: []byte("short")}); err == nil {
+		t.Error("short key accepted")
+	}
+}

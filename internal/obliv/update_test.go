@@ -1,0 +1,161 @@
+package obliv
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestUpdateReadModifyWrite(t *testing.T) {
+	s := newTestStore(t, 128)
+	// First Update sees nil (never written) and initializes.
+	err := s.Update(9, func(cur []byte) []byte {
+		if cur != nil {
+			t.Errorf("first update saw %v", cur)
+		}
+		return []byte{1}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second Update sees the current value and increments it, atomically in
+	// one path access.
+	before := s.Accesses
+	err = s.Update(9, func(cur []byte) []byte {
+		return []byte{cur[0] + 1}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Accesses-before != 1 {
+		t.Errorf("update cost %d accesses, want 1", s.Accesses-before)
+	}
+	got, err := s.Read(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Errorf("value %d, want 2", got[0])
+	}
+}
+
+func TestUpdateCounterProperty(t *testing.T) {
+	s := newTestStore(t, 64)
+	inc := func(cur []byte) []byte {
+		if cur == nil {
+			return []byte{1}
+		}
+		return []byte{cur[0] + 1}
+	}
+	check := func(n8 uint8) bool {
+		n := int(n8%20) + 1
+		addr := uint64(n8 % 64)
+		start := byte(0)
+		if v, err := s.Read(addr); err == nil {
+			start = v[0]
+		}
+		for i := 0; i < n; i++ {
+			if err := s.Update(addr, inc); err != nil {
+				return false
+			}
+		}
+		v, err := s.Read(addr)
+		return err == nil && v[0] == start+byte(n)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMissStillUniformTraffic(t *testing.T) {
+	// A read miss must cost exactly one path access, like a hit: the trace
+	// does not reveal presence.
+	s := newTestStore(t, 128)
+	before := s.Accesses
+	if _, err := s.Read(50); !errors.Is(err, ErrNotFound) {
+		t.Fatal(err)
+	}
+	if s.Accesses-before != 1 {
+		t.Errorf("miss cost %d accesses, want 1", s.Accesses-before)
+	}
+}
+
+func TestLeafTravelsInHeader(t *testing.T) {
+	// Fill enough blocks that paths carry bystanders, then hammer one
+	// block; bystander handling must not corrupt anything (their leaves
+	// come from block headers, not the position map).
+	s := newTestStore(t, 256)
+	for i := uint64(0); i < 128; i++ {
+		if err := s.Write(i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := s.Read(7); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(0); i < 128; i++ {
+		v, err := s.Read(i)
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if v[0] != byte(i) {
+			t.Fatalf("block %d corrupted: %d", i, v[0])
+		}
+	}
+}
+
+func TestMemPosMap(t *testing.T) {
+	m := newMemPosMap(8)
+	if l, _ := m.Peek(3); l != noLeaf {
+		t.Error("fresh map should be unmapped")
+	}
+	old, _ := m.Swap(3, 77)
+	if old != noLeaf {
+		t.Errorf("first swap returned %d", old)
+	}
+	old, _ = m.Swap(3, 99)
+	if old != 77 {
+		t.Errorf("second swap returned %d", old)
+	}
+	if l, _ := m.Peek(3); l != 99 {
+		t.Errorf("peek %d", l)
+	}
+}
+
+func TestOramPosMapPeek(t *testing.T) {
+	r := newRecursive(t)
+	pm := r.Data.pos.(*oramPosMap)
+	if l, err := pm.Peek(5); err != nil || l != noLeaf {
+		t.Fatalf("peek of unmapped: %d, %v", l, err)
+	}
+	if err := r.Write(5, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	l, err := pm.Peek(5)
+	if err != nil || l == noLeaf {
+		t.Fatalf("peek after write: %d, %v", l, err)
+	}
+}
+
+func TestWritePreservesSiblingEntries(t *testing.T) {
+	// Blocks 16..31 share one PosMap block in the recursive store; updates
+	// to one entry must not clobber the others.
+	r := newRecursive(t)
+	for i := uint64(16); i < 32; i++ {
+		if err := r.Write(i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(16); i < 32; i++ {
+		v, err := r.Read(i)
+		if err != nil {
+			t.Fatalf("block %d: %v", i, err)
+		}
+		if !bytes.Equal(v[:1], []byte{byte(i)}) {
+			t.Fatalf("block %d corrupted", i)
+		}
+	}
+}

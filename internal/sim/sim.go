@@ -1,0 +1,262 @@
+// Package sim wires the full system together: the trace-driven core model,
+// the LLC, the ORAM controller behind its pacing issuer, and the DRAM
+// timing model. One System runs one workload under one scheme; experiments
+// construct a fresh System per (scheme, benchmark) pair so runs never share
+// state.
+package sim
+
+import (
+	"iroram/internal/block"
+	"iroram/internal/cache"
+	"iroram/internal/config"
+	"iroram/internal/core"
+	"iroram/internal/dram"
+	"iroram/internal/rng"
+	"iroram/internal/trace"
+)
+
+// System is one fully wired simulation instance.
+type System struct {
+	cfg     config.System
+	mem     *dram.Model
+	llc     *cache.Cache
+	ctrl    *core.Controller
+	issuer  *core.Issuer
+	scanner *cache.DWBScanner
+
+	now          uint64
+	lastDone     uint64
+	outstanding  []uint64
+	instructions uint64
+	requests     uint64
+	readMisses   uint64
+	writeMisses  uint64
+	dirtyWBs     uint64
+}
+
+// llcDWB adapts the LLC to the controller's DWBSource interface. In
+// proactive-remap mode (the Section IV-D future work) candidates are any
+// LRU lines — under LLC-D even clean evictions need PosMap work — and the
+// dirty bit is left alone (only PosMap state is prefetched).
+type llcDWB struct {
+	llc       *cache.Cache
+	scan      *cache.DWBScanner
+	proactive bool
+}
+
+func (d llcDWB) FindCandidate(now uint64) (uint64, bool) { return d.scan.FindCandidate(now) }
+
+func (d llcDWB) StillCandidate(addr uint64) bool {
+	if d.proactive {
+		return d.llc.IsLRU(addr)
+	}
+	return d.llc.IsDirtyLRU(addr)
+}
+
+func (d llcDWB) MarkClean(addr uint64) bool {
+	if d.proactive {
+		return true // nothing to clear; only PosMap state was prefetched
+	}
+	return d.llc.MarkClean(addr)
+}
+
+// New builds a System for the given configuration.
+func New(cfg config.System) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mem := dram.New(cfg.DRAM)
+	r := rng.New(cfg.Seed)
+	ctrl, err := core.NewController(cfg, mem, r)
+	if err != nil {
+		return nil, err
+	}
+	llc := cache.New(cfg.LLC.Sets(), cfg.LLC.Ways)
+	scanRNG := rng.New(cfg.Seed ^ 0xD1B54A32D192ED03)
+	newScan := cache.NewDWBScanner
+	if cfg.Scheme.ProactiveRemap {
+		newScan = cache.NewLRUScanner
+	}
+	scanner := newScan(llc, func() int { return scanRNG.Intn(llc.Sets()) })
+	s := &System{
+		cfg:     cfg,
+		mem:     mem,
+		llc:     llc,
+		ctrl:    ctrl,
+		scanner: scanner,
+	}
+	s.issuer = core.NewIssuer(ctrl, llcDWB{llc: llc, scan: scanner,
+		proactive: cfg.Scheme.ProactiveRemap})
+	return s, nil
+}
+
+// Controller exposes the ORAM controller (read-only use by experiments).
+func (s *System) Controller() *core.Controller { return s.ctrl }
+
+// Now returns the current simulated CPU cycle.
+func (s *System) Now() uint64 { return s.now }
+
+// Step consumes one trace record: the instruction gap retires at the core's
+// IPC, then the memory access walks the LLC and (on a miss) the ORAM. The
+// out-of-order core sustains up to CPU.MLP outstanding misses: it stalls
+// only when the ROB would fill, which puts memory-bound workloads in the
+// throughput-limited regime where Path ORAM's bandwidth demand is the
+// bottleneck (Section II-B).
+func (s *System) Step(req trace.Request) {
+	s.instructions += uint64(req.GapInstr)
+	s.now += uint64(req.GapInstr) / uint64(s.cfg.CPU.IPC)
+	s.requests++
+	s.now += s.cfg.LLC.HitLatency
+	if s.llc.Access(req.Addr, req.Write) {
+		return
+	}
+	if req.Write {
+		s.writeMisses++
+	} else {
+		s.readMisses++
+	}
+	// ROB-limited MLP: wait for the oldest outstanding miss when full.
+	if len(s.outstanding) >= s.cfg.CPU.MLP {
+		if s.outstanding[0] > s.now {
+			s.now = s.outstanding[0]
+		}
+		s.outstanding = s.outstanding[1:]
+	}
+	// Write-allocate: the block is fetched either way; a write miss leaves
+	// the line dirty. The victim goes to the ORAM if dirty — and under
+	// LLC-D even when clean, because the block must rejoin the tree.
+	victim := s.llc.Insert(req.Addr, req.Write)
+	if victim.Valid && (victim.Dirty || s.cfg.Scheme.DelayedRemap) {
+		s.dirtyWBs++
+		s.now = s.issuer.PostWrite(s.now, block.ID(victim.Addr))
+	}
+	done := s.issuer.ReadBlock(s.now, block.ID(req.Addr))
+	s.outstanding = append(s.outstanding, done)
+	if done > s.lastDone {
+		s.lastDone = done
+	}
+}
+
+// Run consumes up to maxRequests records from gen and returns the result.
+func (s *System) Run(gen trace.Generator, maxRequests int) Result {
+	for i := 0; i < maxRequests; i++ {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		s.Step(req)
+	}
+	return s.Result(gen.Name())
+}
+
+// RunWithSnapshots is Run plus periodic tree-utilization snapshots (the
+// Fig 3 methodology): snapshots+1 measurements labelled by progress,
+// including one right after initialization.
+func (s *System) RunWithSnapshots(gen trace.Generator, maxRequests, snapshots int) (Result, []UtilSnapshot) {
+	out := []UtilSnapshot{{Label: "init", Util: s.ctrl.Utilization()}}
+	per := maxRequests / snapshots
+	if per == 0 {
+		per = 1
+	}
+	consumed := 0
+	for i := 0; i < maxRequests; i++ {
+		req, ok := gen.Next()
+		if !ok {
+			break
+		}
+		s.Step(req)
+		consumed++
+		if consumed%per == 0 {
+			out = append(out, UtilSnapshot{
+				Label: progressLabel(consumed, maxRequests),
+				Util:  s.ctrl.Utilization(),
+			})
+		}
+	}
+	return s.Result(gen.Name()), out
+}
+
+func progressLabel(done, total int) string {
+	pct := done * 100 / total
+	return percentString(pct)
+}
+
+func percentString(pct int) string {
+	digits := [3]byte{}
+	n := 0
+	if pct >= 100 {
+		return "100%"
+	}
+	if pct >= 10 {
+		digits[n] = byte('0' + pct/10)
+		n++
+	}
+	digits[n] = byte('0' + pct%10)
+	n++
+	return string(digits[:n]) + "%"
+}
+
+// UtilSnapshot is one labelled utilization-per-level measurement.
+type UtilSnapshot struct {
+	Label string
+	Util  []float64
+}
+
+// Result summarizes one run.
+type Result struct {
+	Name         string
+	Cycles       uint64
+	Instructions uint64
+	Requests     uint64
+	ReadMisses   uint64
+	WriteMisses  uint64
+	DirtyWBs     uint64
+	ORAM         core.Stats
+	DRAM         dram.Stats
+	LLC          cache.Stats
+}
+
+// Result captures the current counters without consuming more trace.
+func (s *System) Result(name string) Result {
+	cycles := s.now
+	if s.lastDone > cycles {
+		cycles = s.lastDone // drain outstanding misses
+	}
+	return Result{
+		Name:         name,
+		Cycles:       cycles,
+		Instructions: s.instructions,
+		Requests:     s.requests,
+		ReadMisses:   s.readMisses,
+		WriteMisses:  s.writeMisses,
+		DirtyWBs:     s.dirtyWBs,
+		ORAM:         *s.ctrl.Stats(),
+		DRAM:         s.mem.Stats(),
+		LLC:          s.llc.Stats(),
+	}
+}
+
+// ReadMPKI returns LLC read misses per kilo-instruction.
+func (r Result) ReadMPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.ReadMisses) / (float64(r.Instructions) / 1000)
+}
+
+// WriteMPKI returns dirty write-backs per kilo-instruction (the Table II
+// write metric).
+func (r Result) WriteMPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.DirtyWBs) / (float64(r.Instructions) / 1000)
+}
+
+// IPC returns retired instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}

@@ -1,0 +1,122 @@
+// Package stash implements the on-chip block holding structures of the ORAM
+// controller: the classic fully-associative F-Stash, the baseline's
+// dedicated tree-top cache, and the IR-Stash design (a double-indexed
+// set-associative S-Stash plus the TT pointer table) of Section IV-C.
+package stash
+
+import (
+	"fmt"
+
+	"iroram/internal/block"
+	"iroram/internal/tree"
+)
+
+// FStash is the traditional fully-associative stash. Storage is unbounded —
+// Path ORAM lets the stash grow transiently and relies on background
+// eviction to drain it (Ren et al.) — but Capacity records the provisioned
+// size so the controller can detect pressure.
+type FStash struct {
+	capacity int
+	items    []tree.Entry
+	index    map[block.ID]int
+	// HighWater tracks the maximum occupancy ever reached.
+	HighWater int
+}
+
+// NewFStash returns an empty stash provisioned for capacity blocks.
+func NewFStash(capacity int) *FStash {
+	return &FStash{capacity: capacity, index: make(map[block.ID]int)}
+}
+
+// Capacity returns the provisioned size.
+func (s *FStash) Capacity() int { return s.capacity }
+
+// Len returns the current occupancy.
+func (s *FStash) Len() int { return len(s.items) }
+
+// Overfull reports whether occupancy exceeds the given threshold.
+func (s *FStash) Overfull(threshold int) bool { return len(s.items) > threshold }
+
+// Insert adds or updates a block. Duplicate inserts update the leaf in
+// place (the block was remapped while stashed).
+func (s *FStash) Insert(e tree.Entry) {
+	if i, ok := s.index[e.Addr]; ok {
+		s.items[i] = e
+		return
+	}
+	s.index[e.Addr] = len(s.items)
+	s.items = append(s.items, e)
+	if len(s.items) > s.HighWater {
+		s.HighWater = len(s.items)
+	}
+}
+
+// Lookup returns the leaf of addr if stashed.
+func (s *FStash) Lookup(addr block.ID) (block.Leaf, bool) {
+	if i, ok := s.index[addr]; ok {
+		return s.items[i].Leaf, true
+	}
+	return block.NoLeaf, false
+}
+
+// Remove deletes addr, reporting whether it was present. Removal is O(1)
+// via swap-with-last, keeping iteration deterministic for a given op
+// sequence.
+func (s *FStash) Remove(addr block.ID) bool {
+	i, ok := s.index[addr]
+	if !ok {
+		return false
+	}
+	last := len(s.items) - 1
+	if i != last {
+		s.items[i] = s.items[last]
+		s.index[s.items[i].Addr] = i
+	}
+	s.items = s.items[:last]
+	delete(s.index, addr)
+	return true
+}
+
+// SetLeaf updates the leaf of a stashed block (remap while stashed); it
+// reports whether the block was found.
+func (s *FStash) SetLeaf(addr block.ID, leaf block.Leaf) bool {
+	if i, ok := s.index[addr]; ok {
+		s.items[i].Leaf = leaf
+		return true
+	}
+	return false
+}
+
+// Each calls fn for every stashed entry in storage order. fn must not
+// mutate the stash.
+func (s *FStash) Each(fn func(tree.Entry)) {
+	for _, e := range s.items {
+		fn(e)
+	}
+}
+
+// TakeForBucket removes and returns up to max blocks whose leaves allow
+// placement in the bucket that the path of leaf crosses at level — the
+// write-phase selection loop. accept lets the caller veto candidates (the
+// IR-Stash set-conflict rule); pass nil to accept all.
+func (s *FStash) TakeForBucket(leaf block.Leaf, level, levels, max int,
+	accept func(tree.Entry) bool) []tree.Entry {
+	if max <= 0 {
+		return nil
+	}
+	var out []tree.Entry
+	for i := 0; i < len(s.items) && len(out) < max; {
+		e := s.items[i]
+		if tree.SameSubtree(leaf, e.Leaf, level, levels) && (accept == nil || accept(e)) {
+			out = append(out, e)
+			s.Remove(e.Addr) // swaps; do not advance i
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+func (s *FStash) String() string {
+	return fmt.Sprintf("FStash{%d/%d}", len(s.items), s.capacity)
+}

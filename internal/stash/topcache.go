@@ -1,0 +1,147 @@
+package stash
+
+import (
+	"fmt"
+
+	"iroram/internal/block"
+	"iroram/internal/tree"
+)
+
+// TopStore is the on-chip home of the top tree levels. Both the baseline's
+// dedicated cache and IR-Stash implement it; only IR-Stash additionally
+// offers the block-address index (AddrIndex) that lets the LLC discover
+// tree-top hits without a PosMap lookup.
+type TopStore interface {
+	// ReadPath removes and returns every real block in the top buckets on
+	// the path of leaf (the on-chip segment of a path read).
+	ReadPath(leaf block.Leaf) []tree.Entry
+	// Fill places e into the bucket the path of leaf crosses at level; it
+	// returns false when the design cannot accept the block (bucket full,
+	// or an S-Stash set conflict) and the caller must keep it stashed.
+	Fill(level int, leaf block.Leaf, e tree.Entry) bool
+	// Find reports the level at which addr sits on the path of leaf.
+	Find(addr block.ID, leaf block.Leaf) (level int, ok bool)
+	// Remove deletes addr from the path of leaf.
+	Remove(addr block.ID, leaf block.Leaf) bool
+	// OccupiedAt returns the number of real blocks at one top level.
+	OccupiedAt(level int) uint64
+	// CapacityAt returns the allocated slots at one top level.
+	CapacityAt(level int) uint64
+	// Len returns the total number of blocks held.
+	Len() int
+}
+
+// AddrIndex is the extra capability of IR-Stash: a block-address lookup that
+// serves LLC requests directly from the tree top — no PosMap access, no
+// path access, no remap (Section IV-C).
+type AddrIndex interface {
+	// LookupByAddr reports whether addr is held, without PosMap knowledge.
+	LookupByAddr(addr block.ID) (block.Leaf, bool)
+}
+
+// TopCache is the baseline's dedicated tree-top cache: buckets indexed by
+// tree position only. The LLC cannot search it by address, so a request
+// must resolve its PosMap entry before a tree-top hit can be discovered —
+// the PosMap waste IR-Stash eliminates.
+type TopCache struct {
+	topLevels int
+	levels    int
+	z         []int
+	// nodes is heap-indexed: node of (level l, index i) = 2^l + i.
+	nodes    [][]tree.Entry
+	occupied []uint64
+}
+
+// NewTopCache allocates an empty cache for levels [0, topLevels) of a tree
+// with levels levels and the given per-level bucket sizes.
+func NewTopCache(levels, topLevels int, z []int) *TopCache {
+	if topLevels <= 0 || topLevels >= levels {
+		panic(fmt.Sprintf("stash: topLevels %d out of (0,%d)", topLevels, levels))
+	}
+	return &TopCache{
+		topLevels: topLevels,
+		levels:    levels,
+		z:         append([]int(nil), z...),
+		nodes:     make([][]tree.Entry, 1<<uint(topLevels)),
+		occupied:  make([]uint64, topLevels),
+	}
+}
+
+func (t *TopCache) node(level int, leaf block.Leaf) int {
+	idx := uint64(leaf) >> (uint(t.levels-1) - uint(level))
+	return (1 << uint(level)) + int(idx)
+}
+
+// ReadPath implements TopStore.
+func (t *TopCache) ReadPath(leaf block.Leaf) []tree.Entry {
+	var out []tree.Entry
+	for l := 0; l < t.topLevels; l++ {
+		n := t.node(l, leaf)
+		out = append(out, t.nodes[n]...)
+		t.occupied[l] -= uint64(len(t.nodes[n]))
+		t.nodes[n] = t.nodes[n][:0]
+	}
+	return out
+}
+
+// Fill implements TopStore. The dedicated cache owns its buckets outright,
+// so it only refuses when the bucket is at capacity.
+func (t *TopCache) Fill(level int, leaf block.Leaf, e tree.Entry) bool {
+	n := t.node(level, leaf)
+	if len(t.nodes[n]) >= t.z[level] {
+		return false
+	}
+	if !tree.SameSubtree(leaf, e.Leaf, level, t.levels) {
+		panic(fmt.Sprintf("stash: block %v (leaf %d) misplaced at top level %d of path %d",
+			e.Addr, e.Leaf, level, leaf))
+	}
+	t.nodes[n] = append(t.nodes[n], e)
+	t.occupied[level]++
+	return true
+}
+
+// Find implements TopStore.
+func (t *TopCache) Find(addr block.ID, leaf block.Leaf) (int, bool) {
+	for l := 0; l < t.topLevels; l++ {
+		for _, e := range t.nodes[t.node(l, leaf)] {
+			if e.Addr == addr {
+				return l, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Remove implements TopStore.
+func (t *TopCache) Remove(addr block.ID, leaf block.Leaf) bool {
+	for l := 0; l < t.topLevels; l++ {
+		n := t.node(l, leaf)
+		for i, e := range t.nodes[n] {
+			if e.Addr == addr {
+				last := len(t.nodes[n]) - 1
+				t.nodes[n][i] = t.nodes[n][last]
+				t.nodes[n] = t.nodes[n][:last]
+				t.occupied[l]--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// OccupiedAt implements TopStore.
+func (t *TopCache) OccupiedAt(level int) uint64 { return t.occupied[level] }
+
+// CapacityAt implements TopStore.
+func (t *TopCache) CapacityAt(level int) uint64 {
+	return (uint64(1) << uint(level)) * uint64(t.z[level])
+}
+
+// Len implements TopStore.
+func (t *TopCache) Len() int {
+	n := 0
+	for _, o := range t.occupied {
+		n += int(o)
+	}
+	return n
+}

@@ -1,0 +1,296 @@
+// Package stats collects and reports simulator statistics: path-access
+// counters by type (Fig 2, 15), per-level histograms (Fig 6), utilization
+// snapshots (Fig 3, 4, 13), and simple text/CSV tables used by the
+// experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"iroram/internal/block"
+)
+
+// PathCounters tallies path accesses by type, plus the DRAM block traffic
+// they generate.
+type PathCounters struct {
+	Paths      [block.NumPathTypes]uint64
+	BlocksRead uint64
+	BlocksWrit uint64
+}
+
+// Add records one path access of type t that moved r reads and w writes.
+func (c *PathCounters) Add(t block.PathType, r, w int) {
+	c.Paths[t]++
+	c.BlocksRead += uint64(r)
+	c.BlocksWrit += uint64(w)
+}
+
+// Total returns the total number of path accesses.
+func (c *PathCounters) Total() uint64 {
+	var n uint64
+	for _, v := range c.Paths {
+		n += v
+	}
+	return n
+}
+
+// Fraction returns the share of type t among all path accesses, or 0 when
+// nothing was recorded.
+func (c *PathCounters) Fraction(t block.PathType) float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Paths[t]) / float64(total)
+}
+
+// Merge accumulates other into c.
+func (c *PathCounters) Merge(other PathCounters) {
+	for i, v := range other.Paths {
+		c.Paths[i] += v
+	}
+	c.BlocksRead += other.BlocksRead
+	c.BlocksWrit += other.BlocksWrit
+}
+
+// LevelHist is a histogram indexed by tree level.
+type LevelHist struct {
+	Counts []uint64
+}
+
+// NewLevelHist returns a histogram for levels levels.
+func NewLevelHist(levels int) *LevelHist {
+	return &LevelHist{Counts: make([]uint64, levels)}
+}
+
+// Add increments level l.
+func (h *LevelHist) Add(l int) { h.Counts[l]++ }
+
+// Total returns the histogram mass.
+func (h *LevelHist) Total() uint64 {
+	var n uint64
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// FractionUpTo returns the share of mass at levels [0, l].
+func (h *LevelHist) FractionUpTo(l int) float64 {
+	total := h.Total()
+	if total == 0 {
+		return 0
+	}
+	var n uint64
+	for i := 0; i <= l && i < len(h.Counts); i++ {
+		n += h.Counts[i]
+	}
+	return float64(n) / float64(total)
+}
+
+// UtilSnapshot is one utilization-per-level measurement (Fig 3): the ratio
+// of real data blocks to allocated slots at each tree level, labelled by the
+// number of path accesses executed so far.
+type UtilSnapshot struct {
+	Label string
+	Util  []float64
+}
+
+// Series is a labelled sequence of float64 values, one entry per benchmark
+// or configuration; the building block of every figure table.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Table is a labelled collection of Series sharing one set of row labels.
+type Table struct {
+	Title  string
+	Rows   []string
+	Series []Series
+}
+
+// NewTable returns an empty table with the given row labels.
+func NewTable(title string, rows ...string) *Table {
+	return &Table{Title: title, Rows: rows}
+}
+
+// AddSeries appends a column. It panics if the length does not match the
+// row labels, which would silently misalign a figure.
+func (t *Table) AddSeries(name string, values []float64) {
+	if len(values) != len(t.Rows) {
+		panic(fmt.Sprintf("stats: series %q has %d values for %d rows",
+			name, len(values), len(t.Rows)))
+	}
+	t.Series = append(t.Series, Series{Name: name, Values: values})
+}
+
+// Get returns the value at (row, series name); ok is false if absent.
+func (t *Table) Get(row, series string) (float64, bool) {
+	ri := -1
+	for i, r := range t.Rows {
+		if r == row {
+			ri = i
+			break
+		}
+	}
+	if ri < 0 {
+		return 0, false
+	}
+	for _, s := range t.Series {
+		if s.Name == series {
+			return s.Values[ri], true
+		}
+	}
+	return 0, false
+}
+
+// String renders the table as aligned text, the format the experiment
+// binaries print and EXPERIMENTS.md embeds.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	widths := make([]int, len(t.Series)+1)
+	widths[0] = len("benchmark")
+	for _, r := range t.Rows {
+		if len(r) > widths[0] {
+			widths[0] = len(r)
+		}
+	}
+	for i, s := range t.Series {
+		widths[i+1] = len(s.Name)
+		for _, v := range s.Values {
+			if n := len(formatCell(v)); n > widths[i+1] {
+				widths[i+1] = n
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", widths[0], "benchmark")
+	for i, s := range t.Series {
+		fmt.Fprintf(&b, "  %*s", widths[i+1], s.Name)
+	}
+	b.WriteByte('\n')
+	for ri, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", widths[0], r)
+		for si, s := range t.Series {
+			fmt.Fprintf(&b, "  %*s", widths[si+1], formatCell(s.Values[ri]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavored markdown table, the
+// format EXPERIMENTS.md embeds.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	b.WriteString("| benchmark |")
+	for _, s := range t.Series {
+		fmt.Fprintf(&b, " %s |", s.Name)
+	}
+	b.WriteString("\n|---|")
+	for range t.Series {
+		b.WriteString("---|")
+	}
+	b.WriteByte('\n')
+	for ri, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s |", r)
+		for _, s := range t.Series {
+			fmt.Fprintf(&b, " %s |", formatCell(s.Values[ri]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("benchmark")
+	for _, s := range t.Series {
+		b.WriteByte(',')
+		b.WriteString(s.Name)
+	}
+	b.WriteByte('\n')
+	for ri, r := range t.Rows {
+		b.WriteString(r)
+		for _, s := range t.Series {
+			fmt.Fprintf(&b, ",%g", s.Values[ri])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatCell(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// GeoMean returns the geometric mean of strictly positive values; zero or
+// negative entries are skipped (they would poison the product).
+func GeoMean(values []float64) float64 {
+	prod, n := 1.0, 0
+	for _, v := range values {
+		if v > 0 {
+			prod *= v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	m := Mean(values)
+	sum := 0.0
+	for _, v := range values {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(values)))
+}
+
+// Median returns the median, or 0 for an empty slice.
+func Median(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text trace format: one record per line, `addr op gap`, with `#` comments
+// and a `# trace: <name>` header — easy to produce from external tools
+// (e.g. a Pin tool post-processor) and to inspect by hand.
+
+// WriteText serializes the named trace in the text format.
+func WriteText(w io.Writer, name string, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace: %s\n# addr op gap\n", name); err != nil {
+		return err
+	}
+	for _, r := range reqs {
+		op := "r"
+		if r.Write {
+			op = "w"
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s %d\n", r.Addr, op, r.GapInstr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text format. Unknown comment lines are skipped;
+// malformed records are reported with their line number.
+func ReadText(r io.Reader) (name string, reqs []Request, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "# trace:"); ok {
+				name = strings.TrimSpace(rest)
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return "", nil, fmt.Errorf("trace: line %d: want `addr op gap`, got %q", lineNo, line)
+		}
+		addr, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("trace: line %d: bad addr: %v", lineNo, err)
+		}
+		var write bool
+		switch fields[1] {
+		case "r", "R":
+		case "w", "W":
+			write = true
+		default:
+			return "", nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, fields[1])
+		}
+		gap, err := strconv.ParseUint(fields[2], 10, 32)
+		if err != nil {
+			return "", nil, fmt.Errorf("trace: line %d: bad gap: %v", lineNo, err)
+		}
+		reqs = append(reqs, Request{Addr: addr, Write: write, GapInstr: uint32(gap)})
+	}
+	if err := sc.Err(); err != nil {
+		return "", nil, err
+	}
+	return name, reqs, nil
+}

@@ -1,0 +1,68 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	reqs := Collect(MustBenchmark("bla", testUniverse, 3), 300)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, "bla", reqs); err != nil {
+		t.Fatal(err)
+	}
+	name, got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "bla" {
+		t.Errorf("name %q", name)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("%d records, want %d", len(got), len(reqs))
+	}
+	for i := range got {
+		if got[i] != reqs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], reqs[i])
+		}
+	}
+}
+
+func TestTextReadHandwritten(t *testing.T) {
+	in := `# trace: handmade
+# a comment
+12 r 100
+
+34 W 0
+56 w 4000000
+`
+	name, reqs, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "handmade" || len(reqs) != 3 {
+		t.Fatalf("name %q, %d records", name, len(reqs))
+	}
+	if reqs[0].Write || !reqs[1].Write || !reqs[2].Write {
+		t.Error("ops misparsed")
+	}
+	if reqs[2].GapInstr != 4000000 {
+		t.Errorf("gap %d", reqs[2].GapInstr)
+	}
+}
+
+func TestTextRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"12 r",                // missing field
+		"x r 5",               // bad addr
+		"12 q 5",              // bad op
+		"12 r notanum",        // bad gap
+		"12 r 99999999999999", // gap overflow
+	}
+	for _, c := range cases {
+		if _, _, err := ReadText(strings.NewReader(c)); err == nil {
+			t.Errorf("%q accepted", c)
+		}
+	}
+}

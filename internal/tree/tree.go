@@ -1,0 +1,226 @@
+// Package tree implements the ORAM tree: bucket storage with per-level
+// bucket sizes (the substrate of IR-Alloc), path indexing, occupancy
+// accounting for the utilization studies (Fig 3/4/13), and the subtree
+// physical layout of Ren et al. that gives path accesses DRAM row-buffer
+// locality.
+//
+// The tree stores only the memory-resident levels [MinLevel, Levels); the
+// on-chip top levels live in internal/stash (dedicated TopCache or S-Stash).
+package tree
+
+import (
+	"fmt"
+
+	"iroram/internal/block"
+	"iroram/internal/config"
+)
+
+// Entry is a real block held in a bucket slot: its unified address and its
+// currently assigned leaf (Path ORAM stores both in the block header).
+type Entry struct {
+	Addr block.ID
+	Leaf block.Leaf
+}
+
+const invalid32 = ^uint32(0)
+
+// Tree is the bucket storage of the memory-resident levels.
+type Tree struct {
+	levels    int
+	minLevel  int
+	z         []int
+	leafBits  uint // levels-1, shift for path indexing
+	levelBase []uint64
+	slotAddr  []uint32
+	slotLeaf  []uint32
+	occupied  []uint64 // per level, indexed [0, levels); top levels stay 0
+}
+
+// New allocates an empty tree holding levels [minLevel, o.Levels). It panics
+// if the unified block space could overflow the 32-bit slot encoding; every
+// supported geometry (L <= 34) is far below that.
+func New(o config.ORAM, minLevel int) *Tree {
+	if minLevel < 0 || minLevel >= o.Levels {
+		panic(fmt.Sprintf("tree: minLevel %d out of [0,%d)", minLevel, o.Levels))
+	}
+	t := &Tree{
+		levels:    o.Levels,
+		minLevel:  minLevel,
+		z:         append([]int(nil), o.Z...),
+		leafBits:  uint(o.Levels - 1),
+		levelBase: make([]uint64, o.Levels+1),
+		occupied:  make([]uint64, o.Levels),
+	}
+	var slots uint64
+	for l := 0; l < o.Levels; l++ {
+		t.levelBase[l] = slots
+		if l >= minLevel {
+			slots += (uint64(1) << uint(l)) * uint64(o.Z[l])
+		}
+	}
+	t.levelBase[o.Levels] = slots
+	t.slotAddr = make([]uint32, slots)
+	t.slotLeaf = make([]uint32, slots)
+	for i := range t.slotAddr {
+		t.slotAddr[i] = invalid32
+	}
+	return t
+}
+
+// Levels returns L.
+func (t *Tree) Levels() int { return t.levels }
+
+// MinLevel returns the shallowest memory-resident level.
+func (t *Tree) MinLevel() int { return t.minLevel }
+
+// Z returns the bucket size of a level.
+func (t *Tree) Z(level int) int { return t.z[level] }
+
+// BucketIndex returns the index within level of the bucket that the path of
+// leaf crosses at that level.
+func (t *Tree) BucketIndex(level int, leaf block.Leaf) uint64 {
+	return uint64(leaf) >> (t.leafBits - uint(level))
+}
+
+// SameSubtree reports whether the paths of two leaves cross the same bucket
+// at level (equivalently: whether a block mapped to b may be placed at that
+// level of a's path).
+func SameSubtree(a, b block.Leaf, level, levels int) bool {
+	shift := uint(levels-1) - uint(level)
+	return uint64(a)>>shift == uint64(b)>>shift
+}
+
+// bucketSlots returns the slot range of bucket (level, idx).
+func (t *Tree) bucketSlots(level int, idx uint64) (lo, hi uint64) {
+	z := uint64(t.z[level])
+	lo = t.levelBase[level] + idx*z
+	return lo, lo + z
+}
+
+// ReadPath removes and returns every real block on the path of leaf
+// (memory-resident levels only), leaving those buckets empty — the read
+// phase of a path access. The result is ordered root-to-leaf.
+func (t *Tree) ReadPath(leaf block.Leaf) []Entry {
+	var out []Entry
+	for l := t.minLevel; l < t.levels; l++ {
+		lo, hi := t.bucketSlots(l, t.BucketIndex(l, leaf))
+		for s := lo; s < hi; s++ {
+			if t.slotAddr[s] != invalid32 {
+				out = append(out, Entry{
+					Addr: block.ID(t.slotAddr[s]),
+					Leaf: block.Leaf(t.slotLeaf[s]),
+				})
+				t.slotAddr[s] = invalid32
+				t.occupied[l]--
+			}
+		}
+	}
+	return out
+}
+
+// FillBucket writes entries into the (empty) bucket the path of leaf crosses
+// at level — the write phase for one level. It panics if the bucket has
+// fewer free slots than entries or if an entry does not belong on this
+// bucket's subtree, both of which indicate controller bugs.
+func (t *Tree) FillBucket(level int, leaf block.Leaf, entries []Entry) {
+	if len(entries) == 0 {
+		return
+	}
+	if len(entries) > t.z[level] {
+		panic(fmt.Sprintf("tree: %d entries for Z=%d bucket", len(entries), t.z[level]))
+	}
+	lo, hi := t.bucketSlots(level, t.BucketIndex(level, leaf))
+	for _, e := range entries {
+		if !SameSubtree(leaf, e.Leaf, level, t.levels) {
+			panic(fmt.Sprintf("tree: block %v (leaf %d) misplaced at level %d of path %d",
+				e.Addr, e.Leaf, level, leaf))
+		}
+		placed := false
+		for s := lo; s < hi; s++ {
+			if t.slotAddr[s] == invalid32 {
+				t.slotAddr[s] = uint32(e.Addr)
+				t.slotLeaf[s] = uint32(e.Leaf)
+				t.occupied[level]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			panic(fmt.Sprintf("tree: bucket overflow at level %d", level))
+		}
+	}
+}
+
+// Find scans the path of leaf for addr without modifying the tree and
+// returns the level holding it.
+func (t *Tree) Find(addr block.ID, leaf block.Leaf) (level int, ok bool) {
+	for l := t.minLevel; l < t.levels; l++ {
+		lo, hi := t.bucketSlots(l, t.BucketIndex(l, leaf))
+		for s := lo; s < hi; s++ {
+			if t.slotAddr[s] != invalid32 && block.ID(t.slotAddr[s]) == addr {
+				return l, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Remove deletes addr from the path of leaf; it reports whether the block
+// was found.
+func (t *Tree) Remove(addr block.ID, leaf block.Leaf) bool {
+	for l := t.minLevel; l < t.levels; l++ {
+		lo, hi := t.bucketSlots(l, t.BucketIndex(l, leaf))
+		for s := lo; s < hi; s++ {
+			if t.slotAddr[s] != invalid32 && block.ID(t.slotAddr[s]) == addr {
+				t.slotAddr[s] = invalid32
+				t.occupied[l]--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Place inserts e at the deepest level of its leaf's path with a free slot,
+// used for initial placement. It reports the level used; ok is false when
+// every memory-resident bucket on the path is full.
+func (t *Tree) Place(e Entry) (level int, ok bool) {
+	for l := t.levels - 1; l >= t.minLevel; l-- {
+		lo, hi := t.bucketSlots(l, t.BucketIndex(l, e.Leaf))
+		for s := lo; s < hi; s++ {
+			if t.slotAddr[s] == invalid32 {
+				t.slotAddr[s] = uint32(e.Addr)
+				t.slotLeaf[s] = uint32(e.Leaf)
+				t.occupied[l]++
+				return l, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Occupied returns the total number of real blocks in the tree.
+func (t *Tree) Occupied() uint64 {
+	var n uint64
+	for _, o := range t.occupied {
+		n += o
+	}
+	return n
+}
+
+// OccupiedAt returns the number of real blocks at one level.
+func (t *Tree) OccupiedAt(level int) uint64 { return t.occupied[level] }
+
+// Utilization returns the per-level space utilization (real blocks over
+// allocated slots), Fig 3's y-axis. On-chip levels report zero here; the
+// controller overlays their occupancy from the stash structures.
+func (t *Tree) Utilization() []float64 {
+	u := make([]float64, t.levels)
+	for l := t.minLevel; l < t.levels; l++ {
+		slots := (uint64(1) << uint(l)) * uint64(t.z[l])
+		if slots > 0 {
+			u[l] = float64(t.occupied[l]) / float64(slots)
+		}
+	}
+	return u
+}

@@ -1,0 +1,166 @@
+package iroram
+
+import (
+	"iroram/internal/config"
+	"iroram/internal/experiments"
+	"iroram/internal/obliv"
+	"iroram/internal/sim"
+	"iroram/internal/stats"
+	"iroram/internal/trace"
+)
+
+// Config is the full simulator configuration (ORAM geometry, DRAM timing,
+// caches, CPU model, scheme). Validate before use; the preset constructors
+// return valid configurations.
+type Config = config.System
+
+// Scheme selects one of the compared designs.
+type Scheme = config.Scheme
+
+// ZProfile is the per-level bucket-size profile that IR-Alloc tunes.
+type ZProfile = config.ZProfile
+
+// System is one wired simulation instance.
+type System = sim.System
+
+// Result summarizes one run.
+type Result = sim.Result
+
+// Table is the row/series result container every experiment returns.
+type Table = stats.Table
+
+// TraceRequest is one record of a workload trace.
+type TraceRequest = trace.Request
+
+// TraceGenerator produces workload request streams.
+type TraceGenerator = trace.Generator
+
+// PaperConfig returns the Table I system: L=25, 8 GB protected space with
+// 4 GB user data, 10 tree-top levels on-chip, T=1000, 2 MB LLC. Full scale:
+// budget ~1.5 GB of memory per System.
+func PaperConfig() Config { return config.Paper() }
+
+// ScaledConfig returns the default experiment geometry (L=21): the same
+// level structure relative to the tree-top cache at 1/16 the capacity.
+func ScaledConfig() Config { return config.Scaled() }
+
+// TinyConfig returns a small geometry (L=14) for tests and quick smoke
+// runs.
+func TinyConfig() Config { return config.Tiny() }
+
+// Baseline is Freecursive Path ORAM with the dedicated 10-level tree-top
+// cache, subtree layout and background eviction.
+func Baseline() Scheme { return config.Baseline() }
+
+// Rho is the ρ design (smaller hot tree, fixed 1:2 issue pattern).
+func Rho() Scheme { return config.RhoScheme() }
+
+// IRAlloc is the utilization-aware node-size allocator alone.
+func IRAlloc() Scheme { return config.IRAllocScheme() }
+
+// IRStash is the double-indexed tree-top sub-stash alone.
+func IRStash() Scheme { return config.IRStashScheme() }
+
+// IRDWB is the dummy-to-early-write-back conversion alone.
+func IRDWB() Scheme { return config.IRDWBScheme() }
+
+// IROram integrates IR-Alloc, IR-Stash and IR-DWB.
+func IROram() Scheme { return config.IROramScheme() }
+
+// LLCD is Baseline plus the delayed block remapping policy.
+func LLCD() Scheme { return config.LLCDScheme() }
+
+// IROramLLCD is the paper's Section IV-D future-work extension: the full
+// IR-ORAM stack over an LLC-D baseline with proactive PosMap prefetching.
+func IROramLLCD() Scheme { return config.IROramOnLLCD() }
+
+// Ring is Ring ORAM (Ren et al.), the alternative read protocol Section
+// VII cites as orthogonal to IR-ORAM.
+func Ring() Scheme { return config.RingScheme() }
+
+// RingWithIRAlloc composes Ring ORAM with the IR-Alloc profile.
+func RingWithIRAlloc() Scheme { return config.RingIRAlloc() }
+
+// AllSchemes returns the Fig 10 scheme list in plot order.
+func AllSchemes() []Scheme { return config.AllSchemes() }
+
+// NewSystem builds a simulation instance for cfg.
+func NewSystem(cfg Config) (*System, error) { return sim.New(cfg) }
+
+// Benchmarks returns the Table II benchmark names.
+func Benchmarks() []string { return trace.BenchmarkNames() }
+
+// BenchmarkTrace returns the synthetic generator for a Table II benchmark
+// over a protected space of universe blocks; it panics on unknown names
+// (use trace names from Benchmarks).
+func BenchmarkTrace(name string, universe, seed uint64) TraceGenerator {
+	return trace.MustBenchmark(name, universe, seed)
+}
+
+// RandomTrace returns a uniform random workload with the given write
+// fraction.
+func RandomTrace(universe uint64, writeFraction float64, seed uint64) TraceGenerator {
+	return trace.Random(universe, writeFraction, seed)
+}
+
+// MixTrace returns the paper's 3-benchmark mix (gcc + mcf + lbm).
+func MixTrace(universe, seed uint64) TraceGenerator {
+	return trace.PaperMix(universe, seed)
+}
+
+// RunBenchmark is the one-call convenience: build a system for cfg, run the
+// named workload ("mix", "random", or a Table II benchmark) for requests
+// records, and return the result.
+func RunBenchmark(cfg Config, benchmark string, requests int) (Result, error) {
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	var gen TraceGenerator
+	switch benchmark {
+	case "mix":
+		gen = MixTrace(cfg.ORAM.DataBlocks(), cfg.Seed)
+	case "random":
+		gen = RandomTrace(cfg.ORAM.DataBlocks(), 0.5, cfg.Seed)
+	default:
+		g, err := trace.Benchmark(benchmark, cfg.ORAM.DataBlocks(), cfg.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		gen = g
+	}
+	return sys.Run(gen, requests), nil
+}
+
+// ExperimentOptions scales a figure regeneration run.
+type ExperimentOptions = experiments.Options
+
+// DefaultExperiments returns full-fidelity options (scaled geometry).
+func DefaultExperiments() ExperimentOptions { return experiments.Default() }
+
+// QuickExperiments returns reduced options for smoke runs and benchmarks.
+func QuickExperiments() ExperimentOptions { return experiments.Quick() }
+
+// ObliviousStoreConfig sizes a functional oblivious store.
+type ObliviousStoreConfig = obliv.Config
+
+// ObliviousStore is a working Path ORAM over sealed memory.
+type ObliviousStore = obliv.Store
+
+// NewObliviousStore builds a functional Path ORAM: real data, real
+// AES-CTR+HMAC sealing, oblivious access pattern. Set Integrity for the
+// Merkle tree that additionally defeats replay of stale memory.
+func NewObliviousStore(cfg ObliviousStoreConfig) (*ObliviousStore, error) {
+	return obliv.NewStore(cfg)
+}
+
+// RecursiveObliviousStore is a functional Path ORAM whose position map
+// lives in a second, 16x-smaller Path ORAM (Freecursive-style recursion).
+type RecursiveObliviousStore = obliv.RecursiveStore
+
+// NewRecursiveObliviousStore builds the two-level construction: client
+// state shrinks to one leaf per 16 blocks, and every access costs exactly
+// one position-map path plus one data path.
+func NewRecursiveObliviousStore(cfg ObliviousStoreConfig) (*RecursiveObliviousStore, error) {
+	return obliv.NewRecursiveStore(cfg)
+}
