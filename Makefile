@@ -1,0 +1,30 @@
+# Verification targets for the iroram reproduction.
+#
+#   make build   compile everything
+#   make vet     static analysis
+#   make test    unit + experiment tests (tier-1)
+#   make race    full tree under the race detector (the parallel
+#                experiment engine must stay race-clean)
+#   make check   all of the above — the documented verification flow
+#   make bench   benchmark harness (one benchmark per paper figure)
+
+GO ?= go
+
+.PHONY: build vet test race check bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -8,6 +8,7 @@ package iroram
 
 import (
 	"bytes"
+	"fmt"
 
 	"testing"
 
@@ -118,6 +119,24 @@ func BenchmarkFig10Performance(b *testing.B) {
 		}
 		reportTable(b, tab, "gmean", "IR-ORAM", "iroram-speedup")
 		reportTable(b, tab, "gmean", "IR-Alloc", "iralloc-speedup")
+	}
+}
+
+// BenchmarkFig10ByJobs measures the parallel experiment engine: the same
+// Fig 10 sweep fanned across 1, 2 and 4 workers. On a multicore host the
+// wall-clock per op drops roughly linearly until the core count; the tables
+// are byte-identical at every width (asserted by TestParallelDeterminism).
+func BenchmarkFig10ByJobs(b *testing.B) {
+	for _, jobs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			opts := benchOpts()
+			opts.Jobs = jobs
+			for i := 0; i < b.N; i++ {
+				if _, err := Experiment("fig10", opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

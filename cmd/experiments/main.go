@@ -5,12 +5,21 @@
 //	experiments -fig fig10                 # one figure at default scale
 //	experiments -fig all -out results.md   # everything, markdown report
 //	experiments -fig fig3 -requests 60000  # more trace records
+//	experiments -fig all -jobs 8           # fan cells across 8 workers
+//
+// Tables go to stdout (and -out); progress and per-figure timing go to
+// stderr, so stdout is byte-identical for every -jobs value and safe to
+// diff or commit. Ctrl-C cancels the sweep at the next cell boundary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -25,8 +34,14 @@ func main() {
 		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 13)")
 		out      = flag.String("out", "", "also append results to this file")
 		quick    = flag.Bool("quick", false, "tiny geometry smoke run")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0),
+			"parallel simulation cells (1 = sequential; results are identical for every value)")
+		progress = flag.Bool("progress", true, "report cell progress and ETA on stderr")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opts := iroram.DefaultExperiments()
 	if *quick {
@@ -34,8 +49,15 @@ func main() {
 	}
 	opts.Requests = *requests
 	opts.Seed = *seed
+	opts.Jobs = *jobs
+	opts.Context = ctx
 	if *benches != "" {
-		opts.Benchmarks = strings.Split(*benches, ",")
+		list, err := parseBenchmarks(*benches)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Benchmarks = list
 	}
 
 	var sink *os.File
@@ -61,8 +83,12 @@ func main() {
 	}
 	for _, name := range names {
 		start := time.Now()
+		if *progress {
+			opts.Progress = progressPrinter(name)
+		}
 		if name == "zsearch" {
 			prof, desc, err := iroram.SearchZProfile(opts)
+			clearProgress(*progress)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: zsearch: %v\n", err)
 				os.Exit(1)
@@ -72,11 +98,56 @@ func main() {
 			continue
 		}
 		tab, err := iroram.Experiment(name, opts)
+		clearProgress(*progress)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		emit(tab.String())
-		emit(fmt.Sprintf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond)))
+		emit("\n")
+		fmt.Fprintf(os.Stderr, "[%s took %v, jobs=%d]\n",
+			name, time.Since(start).Round(time.Millisecond), *jobs)
+	}
+}
+
+// parseBenchmarks splits a comma-separated benchmark list, trimming
+// whitespace around each name (so "-benchmarks 'gcc, mcf'" works) and
+// rejecting empty or unknown entries with the valid names spelled out.
+func parseBenchmarks(s string) ([]string, error) {
+	valid := map[string]bool{"mix": true, "random": true}
+	names := append([]string{}, iroram.Benchmarks()...)
+	for _, b := range names {
+		valid[b] = true
+	}
+	sort.Strings(names)
+	usage := fmt.Sprintf("valid names: %s, mix, random", strings.Join(names, ", "))
+
+	var list []string
+	for _, raw := range strings.Split(s, ",") {
+		b := strings.TrimSpace(raw)
+		if b == "" {
+			return nil, fmt.Errorf("empty benchmark name in %q (%s)", s, usage)
+		}
+		if !valid[b] {
+			return nil, fmt.Errorf("unknown benchmark %q (%s)", b, usage)
+		}
+		list = append(list, b)
+	}
+	return list, nil
+}
+
+// progressPrinter renders "name: done/total cells (eta ...)" on stderr,
+// rewriting the same line as cells land.
+func progressPrinter(name string) func(iroram.Progress) {
+	return func(p iroram.Progress) {
+		fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells (elapsed %v, eta %v)   ",
+			name, p.Done, p.Total,
+			p.Elapsed.Round(time.Second), p.ETA().Round(time.Second))
+	}
+}
+
+func clearProgress(enabled bool) {
+	if enabled {
+		fmt.Fprint(os.Stderr, "\r\033[K")
 	}
 }

@@ -6,12 +6,21 @@
 //
 //	zsearch -requests 20000
 //	zsearch -levels 25 -requests 5000   # Table I geometry (slow)
+//	zsearch -jobs 8                     # parallel candidate evaluation
+//
+// The greedy loop is sequential, but every candidate evaluation within one
+// iteration is an independent simulation; -jobs fans them across workers
+// with the chosen profile identical for every value. Ctrl-C cancels at the
+// next candidate boundary.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
 
 	"iroram"
 	"iroram/internal/config"
@@ -22,12 +31,19 @@ func main() {
 		requests = flag.Int("requests", 20000, "trace records per candidate evaluation")
 		levels   = flag.Int("levels", 0, "tree levels (0 = scaled default)")
 		seed     = flag.Uint64("seed", 1, "evaluation seed")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0),
+			"parallel candidate evaluations (1 = sequential; same result for every value)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opts := iroram.DefaultExperiments()
 	opts.Requests = *requests
 	opts.Seed = *seed
+	opts.Jobs = *jobs
+	opts.Context = ctx
 	if *levels != 0 {
 		opts.Base.ORAM.Levels = *levels
 		opts.Base.ORAM.Z = config.Uniform(*levels, 4)

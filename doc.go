@@ -24,7 +24,17 @@
 //
 // Every table and figure of the paper regenerates through the Experiment
 // helpers (or the cmd/experiments binary); see EXPERIMENTS.md for the
-// paper-vs-measured record.
+// paper-vs-measured record. Sweeps decompose into independent
+// (scheme, benchmark) cells that fan across ExperimentOptions.Jobs workers
+// — one single-goroutine System per worker — with results collected by cell
+// index and all randomness derived per cell, so a sweep's tables are
+// byte-identical for every worker count (Jobs: 1 reproduces the sequential
+// loops exactly):
+//
+//	opts := iroram.DefaultExperiments()
+//	opts.Jobs = 8                       // or go run ./cmd/experiments -jobs 8
+//	opts.Progress = func(p iroram.Progress) { fmt.Println(p.Done, p.Total) }
+//	tab, err := iroram.Experiment("fig10", opts)
 //
 // # The oblivious store
 //

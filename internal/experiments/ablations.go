@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"iroram/internal/config"
+	"iroram/internal/sim"
 	"iroram/internal/stats"
 )
 
@@ -11,7 +12,8 @@ import (
 // plotting: S-Stash associativity ("we tested different set associativities
 // and choose 4-way"), the timing-protection interval T (Section III-A's
 // trade-off discussion), and the core's memory-level parallelism (the
-// difference between a blocking core and the paper's OoO setup).
+// difference between a blocking core and the paper's OoO setup). Each sweep
+// fans its (setting × benchmark) cells as one parallel batch.
 
 // SStashAssocAblation sweeps the S-Stash associativity under IR-Stash and
 // reports speedup over Baseline plus the set-conflict refusals per 1000
@@ -29,25 +31,25 @@ func SStashAssocAblation(opts Options, ways []int) (*stats.Table, error) {
 	}
 	t := stats.NewTable("Ablation: S-Stash associativity (IR-Stash)", rows...)
 
-	base := make([]float64, len(benches))
-	for i, b := range benches {
-		res, err := opts.runOne(config.Baseline(), b)
-		if err != nil {
-			return nil, err
-		}
-		base[i] = float64(res.Cycles)
+	baseRes, err := opts.runBenches(config.Baseline(), benches)
+	if err != nil {
+		return nil, err
+	}
+	base := cyclesOf(baseRes)
+	nb := len(benches)
+	flat, err := mapCells(opts, len(ways)*nb, func(i int) (sim.Result, error) {
+		o := opts
+		o.Base.ORAM.SStashWays = ways[i/nb]
+		return o.runOne(config.IRStashScheme(), benches[i%nb])
+	})
+	if err != nil {
+		return nil, err
 	}
 	speedups := make([]float64, len(ways))
-	for wi, w := range ways {
+	for wi := range ways {
 		var sps []float64
-		for i, b := range benches {
-			o := opts
-			o.Base.ORAM.SStashWays = w
-			res, err := o.runOne(config.IRStashScheme(), b)
-			if err != nil {
-				return nil, err
-			}
-			sps = append(sps, base[i]/float64(res.Cycles))
+		for i := 0; i < nb; i++ {
+			sps = append(sps, base[i]/float64(flat[wi*nb+i].Cycles))
 		}
 		speedups[wi] = stats.GeoMean(sps)
 	}
@@ -69,17 +71,21 @@ func IntervalAblation(opts Options, intervals []uint64) (*stats.Table, error) {
 		rows[i] = fmt.Sprintf("T=%d", tv)
 	}
 	t := stats.NewTable("Ablation: timing-protection interval (Baseline)", rows...)
+	nb := len(benches)
+	flat, err := mapCells(opts, len(intervals)*nb, func(i int) (sim.Result, error) {
+		o := opts
+		o.Base.ORAM.IntervalT = intervals[i/nb]
+		return o.runOne(config.Baseline(), benches[i%nb])
+	})
+	if err != nil {
+		return nil, err
+	}
 	cycles := make([]float64, len(intervals))
 	dummyShare := make([]float64, len(intervals))
-	for ti, tv := range intervals {
+	for ti := range intervals {
 		var cyc, dshare []float64
-		for _, b := range benches {
-			o := opts
-			o.Base.ORAM.IntervalT = tv
-			res, err := o.runOne(config.Baseline(), b)
-			if err != nil {
-				return nil, err
-			}
+		for i := 0; i < nb; i++ {
+			res := flat[ti*nb+i]
 			cyc = append(cyc, float64(res.Cycles))
 			if total := res.ORAM.Paths.Total(); total > 0 {
 				dshare = append(dshare, float64(res.ORAM.DummyPaths)/float64(total))
@@ -114,20 +120,19 @@ func MLPAblation(opts Options, mlps []int) (*stats.Table, error) {
 		rows[i] = fmt.Sprintf("MLP=%d", m)
 	}
 	t := stats.NewTable("Ablation: core memory-level parallelism (Baseline)", rows...)
+	nb := len(benches)
+	flat, err := mapCells(opts, len(mlps)*nb, func(i int) (sim.Result, error) {
+		o := opts
+		o.Base.CPU.MLP = mlps[i/nb]
+		return o.runOne(config.Baseline(), benches[i%nb])
+	})
+	if err != nil {
+		return nil, err
+	}
 	vals := make([]float64, len(mlps))
 	var ref float64
 	for mi, m := range mlps {
-		var cyc []float64
-		for _, b := range benches {
-			o := opts
-			o.Base.CPU.MLP = m
-			res, err := o.runOne(config.Baseline(), b)
-			if err != nil {
-				return nil, err
-			}
-			cyc = append(cyc, float64(res.Cycles))
-		}
-		vals[mi] = stats.Mean(cyc)
+		vals[mi] = stats.Mean(cyclesOf(flat[mi*nb : (mi+1)*nb]))
 		if m == 1 {
 			ref = vals[mi]
 		}
@@ -154,22 +159,27 @@ func PLBAblation(opts Options, entries []int) (*stats.Table, error) {
 		rows[i] = fmt.Sprintf("PLB=%d", e)
 	}
 	t := stats.NewTable("Ablation: PLB capacity (Baseline)", rows...)
+	nb := len(benches)
+	flat, err := mapCells(opts, len(entries)*nb, func(i int) (sim.Result, error) {
+		e := entries[i/nb]
+		o := opts
+		o.Base.ORAM.PLBEntries = e
+		o.Base.ORAM.PLBWays = 4
+		if e < 4 {
+			o.Base.ORAM.PLBWays = e
+		}
+		return o.runOne(config.Baseline(), benches[i%nb])
+	})
+	if err != nil {
+		return nil, err
+	}
 	pos := make([]float64, len(entries))
 	norm := make([]float64, len(entries))
 	var ref float64
-	for ei, e := range entries {
+	for ei := range entries {
 		var posShare, cyc []float64
-		for _, b := range benches {
-			o := opts
-			o.Base.ORAM.PLBEntries = e
-			o.Base.ORAM.PLBWays = 4
-			if e < 4 {
-				o.Base.ORAM.PLBWays = e
-			}
-			res, err := o.runOne(config.Baseline(), b)
-			if err != nil {
-				return nil, err
-			}
+		for i := 0; i < nb; i++ {
+			res := flat[ei*nb+i]
 			posShare = append(posShare, res.ORAM.PosPathFraction())
 			cyc = append(cyc, float64(res.Cycles))
 		}

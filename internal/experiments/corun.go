@@ -21,7 +21,9 @@ import (
 // where each member contributes half of opts.Requests: 1.0 means the shared
 // controller time-slices perfectly; above 1.0 is destructive interference.
 // The comparison is run under Baseline and IR-ORAM — reduced memory
-// intensity leaves more slack for the co-runner.
+// intensity leaves more slack for the co-runner. Every (scheme, pair) cell
+// runs in parallel; the three runs inside a cell (two solos, one co-run)
+// stay sequential on that worker.
 func CoRun(opts Options, pairs [][2]string) (*stats.Table, error) {
 	if len(pairs) == 0 {
 		pairs = [][2]string{{"gcc", "mcf"}, {"mcf", "lbm"}, {"dee", "bla"}}
@@ -32,16 +34,17 @@ func CoRun(opts Options, pairs [][2]string) (*stats.Table, error) {
 	}
 	t := stats.NewTable("Co-run: ORAM sharing interference factor", rows...)
 
-	for _, sch := range []config.Scheme{config.Baseline(), config.IROramScheme()} {
-		vals := make([]float64, len(pairs))
-		for i, p := range pairs {
-			f, err := opts.interference(sch, p[0], p[1])
-			if err != nil {
-				return nil, err
-			}
-			vals[i] = f
-		}
-		t.AddSeries(sch.Name, vals)
+	schemes := []config.Scheme{config.Baseline(), config.IROramScheme()}
+	np := len(pairs)
+	flat, err := mapCells(opts, len(schemes)*np, func(i int) (float64, error) {
+		p := pairs[i%np]
+		return opts.interference(schemes[i/np], p[0], p[1])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, sch := range schemes {
+		t.AddSeries(sch.Name, flat[si*np:(si+1)*np])
 	}
 	return t, nil
 }
@@ -96,28 +99,20 @@ func FutureWork(opts Options) (*stats.Table, error) {
 	rows := append(append([]string{}, benches...), "gmean")
 	t := stats.NewTable("Future work (Section IV-D): proactive remapping over LLC-D", rows...)
 
-	llcd := make([]float64, len(benches))
-	for i, b := range benches {
-		res, err := opts.runOne(config.LLCDScheme(), b)
-		if err != nil {
-			return nil, err
-		}
-		llcd[i] = float64(res.Cycles)
+	grid, err := opts.runGrid([]config.Scheme{
+		config.LLCDScheme(), config.IRStashAllocOnLLCD(), config.IROramOnLLCD(),
+	}, benches)
+	if err != nil {
+		return nil, err
 	}
-	for _, sch := range []config.Scheme{config.IRStashAllocOnLLCD(), config.IROramOnLLCD()} {
+	llcd := cyclesOf(grid[0])
+	for si, sch := range []config.Scheme{config.IRStashAllocOnLLCD(), config.IROramOnLLCD()} {
 		vals := make([]float64, len(benches))
-		var prefetches float64
-		for i, b := range benches {
-			res, err := opts.runOne(sch, b)
-			if err != nil {
-				return nil, err
-			}
-			vals[i] = llcd[i] / float64(res.Cycles)
-			prefetches += float64(res.ORAM.ProactiveRemaps)
+		for i := range benches {
+			vals[i] = llcd[i] / float64(grid[si+1][i].Cycles)
 		}
 		vals = append(vals, stats.GeoMean(vals))
 		t.AddSeries(sch.Name, vals)
-		_ = prefetches
 	}
 	return t, nil
 }

@@ -17,13 +17,16 @@ func Energy(opts Options) (*stats.Table, error) {
 	t := stats.NewTable("Section VI-F: estimated energy normalized to Baseline", rows...)
 	costs := energy.DefaultCosts()
 
+	schemes := []config.Scheme{
+		config.Baseline(), config.IRAllocScheme(), config.IROramScheme(),
+	}
+	grid, err := opts.runGrid(schemes, benches)
+	if err != nil {
+		return nil, err
+	}
 	baseTotals := make([]float64, len(benches))
 	baseShares := make([]float64, len(benches))
-	for i, b := range benches {
-		res, err := opts.runOne(config.Baseline(), b)
-		if err != nil {
-			return nil, err
-		}
+	for i, res := range grid[0] {
 		est := energy.Estimate(res, costs)
 		baseTotals[i] = est.Total()
 		baseShares[i] = est.DRAMShare()
@@ -31,13 +34,9 @@ func Energy(opts Options) (*stats.Table, error) {
 	t.AddSeries("Baseline DRAM share", append(append([]float64{}, baseShares...),
 		stats.Mean(baseShares)))
 
-	for _, sch := range []config.Scheme{config.IRAllocScheme(), config.IROramScheme()} {
+	for si, sch := range schemes[1:] {
 		vals := make([]float64, len(benches))
-		for i, b := range benches {
-			res, err := opts.runOne(sch, b)
-			if err != nil {
-				return nil, err
-			}
+		for i, res := range grid[si+1] {
 			if baseTotals[i] > 0 {
 				vals[i] = energy.Estimate(res, costs).Total() / baseTotals[i]
 			}

@@ -3,12 +3,26 @@
 // driver is a pure function of an Options value and returns a stats.Table
 // whose rows/series mirror what the paper plots; cmd/experiments prints
 // them and EXPERIMENTS.md records paper-vs-measured values.
+//
+// # Parallel execution
+//
+// Every driver decomposes into independent (scheme, benchmark) simulation
+// cells. Each cell builds a private sim.System and trace.Generator from the
+// cell's configuration and seed — a System is single-goroutine, so
+// parallelism is always one System per worker — and the drivers fan cells
+// across Options.Jobs workers via internal/runner. Results are collected by
+// cell index, never by completion order, and every cell's randomness is a
+// pure function of (Options.Seed, cell identity), so the tables are
+// bit-identical for every worker count: Jobs == 1 reproduces the historical
+// sequential loops exactly.
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"iroram/internal/config"
+	"iroram/internal/runner"
 	"iroram/internal/sim"
 	"iroram/internal/trace"
 )
@@ -20,10 +34,23 @@ type Options struct {
 	Base config.System
 	// Requests is the number of trace records consumed per run.
 	Requests int
-	// Seed drives traces and ORAM randomness.
+	// Seed drives traces and ORAM randomness. Each simulation cell derives
+	// its randomness purely from (Seed, cell identity), so results do not
+	// depend on worker count or scheduling.
 	Seed uint64
 	// Benchmarks defaults to the 13 Table II programs.
 	Benchmarks []string
+
+	// Jobs bounds the number of concurrently simulated cells; zero or
+	// negative means runtime.GOMAXPROCS(0), and 1 reproduces the historical
+	// sequential behavior exactly.
+	Jobs int
+	// Context, when non-nil, cancels an in-flight sweep at the next cell
+	// boundary (a started cell runs to completion; no new cell starts).
+	Context context.Context
+	// Progress, when non-nil, observes per-batch cell completion. Drivers
+	// that fan several batches report each batch separately.
+	Progress func(runner.Progress)
 }
 
 // Default returns the scaled full-fidelity options used by cmd/experiments.
@@ -50,6 +77,53 @@ func (o Options) benchmarks() []string {
 	return trace.BenchmarkNames()
 }
 
+// pool assembles the runner configuration for one batch of cells.
+func (o Options) pool() runner.Pool {
+	return runner.Pool{Jobs: o.Jobs, Context: o.Context, OnProgress: o.Progress}
+}
+
+// mapCells fans fn over n independent cells on the options' worker pool;
+// results come back ordered by cell index (see runner.Map). It is the one
+// fan-out primitive every figure driver uses. fn must be safe to call from
+// multiple goroutines, which holds for anything built on runOne/runProfile
+// because each cell constructs a private System.
+func mapCells[T any](o Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	return runner.Map(o.pool(), n, fn)
+}
+
+// runGrid evaluates the full (scheme × benchmark) grid as one parallel batch
+// and returns results indexed [scheme][benchmark].
+func (o Options) runGrid(schemes []config.Scheme, benches []string) ([][]sim.Result, error) {
+	nb := len(benches)
+	flat, err := mapCells(o, len(schemes)*nb, func(i int) (sim.Result, error) {
+		return o.runOne(schemes[i/nb], benches[i%nb])
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]sim.Result, len(schemes))
+	for si := range schemes {
+		out[si] = flat[si*nb : (si+1)*nb]
+	}
+	return out, nil
+}
+
+// runBenches evaluates one scheme across benches as one parallel batch.
+func (o Options) runBenches(sch config.Scheme, benches []string) ([]sim.Result, error) {
+	return mapCells(o, len(benches), func(i int) (sim.Result, error) {
+		return o.runOne(sch, benches[i])
+	})
+}
+
+// cyclesOf projects a result row onto its cycle counts.
+func cyclesOf(rs []sim.Result) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = float64(r.Cycles)
+	}
+	return out
+}
+
 // genFor builds the workload generator named by bench ("mix", "random", or
 // a Table II benchmark) over the configured protected space.
 func (o Options) genFor(bench string, universe uint64) (trace.Generator, error) {
@@ -63,7 +137,9 @@ func (o Options) genFor(bench string, universe uint64) (trace.Generator, error) 
 	}
 }
 
-// runOne executes one (scheme, benchmark) cell and returns its result.
+// runOne executes one (scheme, benchmark) cell and returns its result. It
+// builds a fresh System and Generator, so concurrent calls never share
+// state.
 func (o Options) runOne(sch config.Scheme, bench string) (sim.Result, error) {
 	cfg := o.Base.WithScheme(sch)
 	cfg.Seed = o.Seed

@@ -18,18 +18,20 @@ func Table2(opts Options) (*stats.Table, error) {
 	t := stats.NewTable("Table II: benchmark memory intensity (measured vs paper)", benches...)
 	targetR := make([]float64, len(benches))
 	targetW := make([]float64, len(benches))
-	gotR := make([]float64, len(benches))
-	gotW := make([]float64, len(benches))
 	for i, b := range benches {
 		spec, err := trace.SpecFor(b)
 		if err != nil {
 			return nil, err
 		}
 		targetR[i], targetW[i] = spec.ReadMPKI, spec.WriteMPKI
-		res, err := opts.runOne(config.Baseline(), b)
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := opts.runBenches(config.Baseline(), benches)
+	if err != nil {
+		return nil, err
+	}
+	gotR := make([]float64, len(benches))
+	gotW := make([]float64, len(benches))
+	for i, res := range results {
 		gotR[i], gotW[i] = res.ReadMPKI(), res.WriteMPKI()
 	}
 	t.AddSeries("read MPKI (paper)", targetR)
@@ -59,11 +61,11 @@ func Fig2(opts Options) (*stats.Table, error) {
 	for i := range cols {
 		cols[i] = make([]float64, len(benches))
 	}
-	for bi, b := range benches[:len(benches)-1] {
-		res, err := opts.runOne(config.Baseline(), b)
-		if err != nil {
-			return nil, err
-		}
+	results, err := opts.runBenches(config.Baseline(), benches[:len(benches)-1])
+	if err != nil {
+		return nil, err
+	}
+	for bi, res := range results {
 		for ki, k := range kinds {
 			f := 0.0
 			for _, pt := range k.types {
@@ -82,18 +84,25 @@ func Fig2(opts Options) (*stats.Table, error) {
 
 // utilizationTable runs the Fig 3 methodology (benchmark mix followed by a
 // random tail) under the given scheme and returns utilization-per-level
-// snapshots. Shared by Fig 3 (Baseline) and Fig 13 (IR-Alloc).
+// snapshots. Shared by Fig 3 (Baseline) and Fig 13 (IR-Alloc). The single
+// run goes through mapCells so it honors cancellation like every driver.
 func utilizationTable(opts Options, sch config.Scheme, title string) (*stats.Table, error) {
-	cfg := opts.Base.WithScheme(sch)
-	cfg.Seed = opts.Seed
-	s, err := sim.New(cfg)
+	snaps, err := mapCells(opts, 1, func(int) ([]sim.UtilSnapshot, error) {
+		cfg := opts.Base.WithScheme(sch)
+		cfg.Seed = opts.Seed
+		s, err := sim.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		gen := trace.UtilizationTrace(cfg.ORAM.DataBlocks(), opts.Requests, opts.Seed)
+		_, out := s.RunWithSnapshots(gen, opts.Requests, 4)
+		return out, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	gen := trace.UtilizationTrace(cfg.ORAM.DataBlocks(), opts.Requests, opts.Seed)
-	_, snaps := s.RunWithSnapshots(gen, opts.Requests, 4)
-	t := stats.NewTable(title, levelRows(cfg.ORAM.Levels)...)
-	for _, sn := range snaps {
+	t := stats.NewTable(title, levelRows(opts.Base.ORAM.Levels)...)
+	for _, sn := range snaps[0] {
 		t.AddSeries(sn.Label, sn.Util)
 	}
 	return t, nil
@@ -109,21 +118,28 @@ func Fig3(opts Options) (*stats.Table, error) {
 // Fig4 compares final utilization across workload classes (gcc, lbm,
 // random), showing the per-benchmark trend of the paper.
 func Fig4(opts Options) (*stats.Table, error) {
+	benches := []string{"gcc", "lbm", "random"}
 	t := stats.NewTable("Fig 4: space utilization per benchmark",
 		levelRows(opts.Base.ORAM.Levels)...)
-	for _, b := range []string{"gcc", "lbm", "random"} {
+	utils, err := mapCells(opts, len(benches), func(i int) ([]float64, error) {
 		cfg := opts.Base.WithScheme(config.Baseline())
 		cfg.Seed = opts.Seed
 		s, err := sim.New(cfg)
 		if err != nil {
 			return nil, err
 		}
-		gen, err := opts.genFor(b, cfg.ORAM.DataBlocks())
+		gen, err := opts.genFor(benches[i], cfg.ORAM.DataBlocks())
 		if err != nil {
 			return nil, err
 		}
 		s.Run(gen, opts.Requests)
-		t.AddSeries(b, s.Controller().Utilization())
+		return s.Controller().Utilization(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		t.AddSeries(b, utils[i])
 	}
 	return t, nil
 }
@@ -133,10 +149,11 @@ func Fig4(opts Options) (*stats.Table, error) {
 // access or pre-existed in the stash. Pre-existing blocks skew toward the
 // root (small path overlap), fetched blocks toward the leaves.
 func Fig5(opts Options) (*stats.Table, error) {
-	res, err := opts.runOne(config.Baseline(), "mix")
+	rs, err := opts.runBenches(config.Baseline(), []string{"mix"})
 	if err != nil {
 		return nil, err
 	}
+	res := rs[0]
 	levels := opts.Base.ORAM.Levels
 	t := stats.NewTable("Fig 5: write-phase placement level by block origin", levelRows(levels)...)
 	toShares := func(h *stats.LevelHist) []float64 {
@@ -158,10 +175,11 @@ func Fig5(opts Options) (*stats.Table, error) {
 // blocks found at each level; the paper reports ~23% of hits within the
 // top 10 levels despite their negligible capacity.
 func Fig6(opts Options) (*stats.Table, error) {
-	res, err := opts.runOne(config.Baseline(), "mix")
+	rs, err := opts.runBenches(config.Baseline(), []string{"mix"})
 	if err != nil {
 		return nil, err
 	}
+	res := rs[0]
 	levels := opts.Base.ORAM.Levels
 	t := stats.NewTable("Fig 6: level at which requested blocks are found", levelRows(levels)...)
 	total := float64(res.ORAM.HitLevels.Total())
@@ -200,33 +218,25 @@ func Fig7(opts Options) (*stats.Table, error) {
 
 // Fig10 is the headline performance comparison: speedup over Baseline for
 // Rho, IR-Alloc, IR-Stash, IR-DWB and integrated IR-ORAM, per benchmark
-// plus the mix bar and the mean.
+// plus the mix bar and the mean. The whole (scheme × benchmark) grid runs
+// as one parallel batch; the Baseline row doubles as the normalization
+// reference (it used to be simulated twice).
 func Fig10(opts Options) (*stats.Table, error) {
 	benches := append(opts.benchmarks(), "mix")
 	rows := append(append([]string{}, benches...), "gmean")
 	t := stats.NewTable("Fig 10: speedup over Baseline", rows...)
 
-	baseCycles := make([]float64, len(benches))
-	for i, b := range benches {
-		res, err := opts.runOne(config.Baseline(), b)
-		if err != nil {
-			return nil, err
-		}
-		baseCycles[i] = float64(res.Cycles)
-	}
-	for _, sch := range []config.Scheme{
+	schemes := []config.Scheme{
 		config.Baseline(), config.RhoScheme(), config.IRAllocScheme(),
 		config.IRStashScheme(), config.IRDWBScheme(), config.IROramScheme(),
-	} {
-		cycles := make([]float64, len(benches))
-		for i, b := range benches {
-			res, err := opts.runOne(sch, b)
-			if err != nil {
-				return nil, err
-			}
-			cycles[i] = float64(res.Cycles)
-		}
-		sp := speedups(baseCycles, cycles)
+	}
+	grid, err := opts.runGrid(schemes, benches)
+	if err != nil {
+		return nil, err
+	}
+	baseCycles := cyclesOf(grid[0])
+	for si, sch := range schemes {
+		sp := speedups(baseCycles, cyclesOf(grid[si]))
 		sp = append(sp, stats.GeoMean(sp))
 		t.AddSeries(sch.Name, sp)
 	}
@@ -239,24 +249,13 @@ func Fig11(opts Options) (*stats.Table, error) {
 	benches := opts.benchmarks()
 	rows := append(append([]string{}, benches...), "gmean")
 	t := stats.NewTable("Fig 11: IR-Stash+IR-Alloc over an LLC-D baseline", rows...)
-	base := make([]float64, len(benches))
-	llcd := make([]float64, len(benches))
-	combo := make([]float64, len(benches))
-	for i, b := range benches {
-		r0, err := opts.runOne(config.Baseline(), b)
-		if err != nil {
-			return nil, err
-		}
-		r1, err := opts.runOne(config.LLCDScheme(), b)
-		if err != nil {
-			return nil, err
-		}
-		r2, err := opts.runOne(config.IRStashAllocOnLLCD(), b)
-		if err != nil {
-			return nil, err
-		}
-		base[i], llcd[i], combo[i] = float64(r0.Cycles), float64(r1.Cycles), float64(r2.Cycles)
+	grid, err := opts.runGrid([]config.Scheme{
+		config.Baseline(), config.LLCDScheme(), config.IRStashAllocOnLLCD(),
+	}, benches)
+	if err != nil {
+		return nil, err
 	}
+	base, llcd, combo := cyclesOf(grid[0]), cyclesOf(grid[1]), cyclesOf(grid[2])
 	vsBase := speedups(base, llcd)
 	vsLLCD := speedups(llcd, combo)
 	vsBase = append(vsBase, stats.GeoMean(vsBase))
@@ -283,22 +282,24 @@ func Fig12(opts Options) (*stats.Table, error) {
 		{"IR-Alloc3", config.Alloc3Profile(o.Levels, o.TopLevels)},
 		{"IR-Alloc4", config.Alloc4Profile(o.Levels, o.TopLevels)},
 	}
-	base := make([]float64, len(benches))
-	for i, b := range benches {
-		res, err := opts.runOne(config.Baseline(), b)
-		if err != nil {
-			return nil, err
-		}
-		base[i] = float64(res.Cycles)
+	baseRes, err := opts.runBenches(config.Baseline(), benches)
+	if err != nil {
+		return nil, err
 	}
-	for _, p := range profiles {
-		norm := make([]float64, len(benches))
-		bgShare := make([]float64, len(benches))
-		for i, b := range benches {
-			res, err := opts.runProfile(config.IRAllocScheme(), p.prof, b)
-			if err != nil {
-				return nil, err
-			}
+	base := cyclesOf(baseRes)
+	// One batch for the whole (profile × benchmark) sweep.
+	nb := len(benches)
+	flat, err := mapCells(opts, len(profiles)*nb, func(i int) (sim.Result, error) {
+		return opts.runProfile(config.IRAllocScheme(), profiles[i/nb].prof, benches[i%nb])
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range profiles {
+		norm := make([]float64, nb)
+		bgShare := make([]float64, nb)
+		for i := 0; i < nb; i++ {
+			res := flat[pi*nb+i]
 			norm[i] = float64(res.Cycles) / base[i]
 			if res.Cycles > 0 {
 				bgShare[i] = float64(res.ORAM.BgEvictionCycles) / float64(res.Cycles)
@@ -325,16 +326,15 @@ func Fig14(opts Options) (*stats.Table, error) {
 	benches := opts.benchmarks()
 	rows := append(append([]string{}, benches...), "mean")
 	t := stats.NewTable("Fig 14: PosMap accesses of IR-Stash normalized to Baseline", rows...)
+	grid, err := opts.runGrid([]config.Scheme{
+		config.Baseline(), config.IRStashScheme(),
+	}, benches)
+	if err != nil {
+		return nil, err
+	}
 	vals := make([]float64, len(benches))
-	for i, b := range benches {
-		r0, err := opts.runOne(config.Baseline(), b)
-		if err != nil {
-			return nil, err
-		}
-		r1, err := opts.runOne(config.IRStashScheme(), b)
-		if err != nil {
-			return nil, err
-		}
+	for i := range benches {
+		r0, r1 := grid[0][i], grid[1][i]
 		if r0.ORAM.PosMapPaths > 0 {
 			vals[i] = float64(r1.ORAM.PosMapPaths) / float64(r0.ORAM.PosMapPaths)
 		} else {
@@ -351,21 +351,19 @@ func Fig14(opts Options) (*stats.Table, error) {
 func Fig15(opts Options) (*stats.Table, error) {
 	benches := append(opts.benchmarks(), "avg")
 	t := stats.NewTable("Fig 15: access type distribution under IR-DWB", benches...)
+	grid, err := opts.runGrid([]config.Scheme{
+		config.Baseline(), config.IRDWBScheme(),
+	}, benches[:len(benches)-1])
+	if err != nil {
+		return nil, err
+	}
 	dummyBase := make([]float64, len(benches))
 	dummyDWB := make([]float64, len(benches))
 	converted := make([]float64, len(benches))
-	for i, b := range benches[:len(benches)-1] {
-		r0, err := opts.runOne(config.Baseline(), b)
-		if err != nil {
-			return nil, err
-		}
-		r1, err := opts.runOne(config.IRDWBScheme(), b)
-		if err != nil {
-			return nil, err
-		}
-		dummyBase[i] = r0.ORAM.Paths.Fraction(block.PathDummy)
-		dummyDWB[i] = r1.ORAM.Paths.Fraction(block.PathDummy)
-		converted[i] = r1.ORAM.Paths.Fraction(block.PathDWB)
+	for i := range benches[:len(benches)-1] {
+		dummyBase[i] = grid[0][i].ORAM.Paths.Fraction(block.PathDummy)
+		dummyDWB[i] = grid[1][i].ORAM.Paths.Fraction(block.PathDummy)
+		converted[i] = grid[1][i].ORAM.Paths.Fraction(block.PathDWB)
 	}
 	last := len(benches) - 1
 	dummyBase[last] = stats.Mean(dummyBase[:last])
@@ -379,41 +377,60 @@ func Fig15(opts Options) (*stats.Table, error) {
 
 // Fig16 is the IR-Alloc scalability study: speedup over Baseline on random
 // traces as the protected memory grows (levels-1, levels, levels+1), with
-// the across-seed standard deviation the paper reports as negligible.
+// the across-seed standard deviation the paper reports as negligible. All
+// (geometry × seed × scheme) cells run as one parallel batch.
 func Fig16(opts Options, seeds int) (*stats.Table, error) {
 	if seeds <= 0 {
 		seeds = 3
 	}
 	baseLevels := opts.Base.ORAM.Levels
+	deltas := []int{-1, 0, 1}
 	rows := []string{}
-	for _, d := range []int{-1, 0, 1} {
+	for _, d := range deltas {
 		rows = append(rows, fmt.Sprintf("L=%d", baseLevels+d))
 	}
 	t := stats.NewTable("Fig 16: IR-Alloc scalability on random traces", rows...)
-	mean := make([]float64, 0, 3)
-	dev := make([]float64, 0, 3)
-	for _, d := range []int{-1, 0, 1} {
-		levels := baseLevels + d
+
+	type cell struct {
+		levels int
+		seed   uint64
+		alloc  bool
+	}
+	var cells []cell
+	for _, d := range deltas {
+		for s := 0; s < seeds; s++ {
+			seed := opts.Seed + uint64(s)*7919
+			cells = append(cells, cell{levels: baseLevels + d, seed: seed, alloc: false})
+			cells = append(cells, cell{levels: baseLevels + d, seed: seed, alloc: true})
+		}
+	}
+	results, err := mapCells(opts, len(cells), func(i int) (sim.Result, error) {
+		c := cells[i]
+		o := opts
+		o.Seed = c.seed
+		o.Base.ORAM.Levels = c.levels
+		o.Base.ORAM.Z = config.Uniform(c.levels, 4)
+		o.Base.ORAM.UserBlocks = 0
+		if !c.alloc {
+			return o.runOne(config.Baseline(), "random")
+		}
+		// The paper re-runs its Z-finding algorithm per geometry; the
+		// integrated (Z>=2) profile is the one that passes the random-trace
+		// background-eviction constraint at every L here, so it stands in
+		// for the per-geometry search result.
+		return o.runProfile(config.IRAllocScheme(),
+			config.IROramProfile(c.levels, o.Base.ORAM.TopLevels), "random")
+	})
+	if err != nil {
+		return nil, err
+	}
+	mean := make([]float64, 0, len(deltas))
+	dev := make([]float64, 0, len(deltas))
+	for di := range deltas {
 		var sps []float64
 		for s := 0; s < seeds; s++ {
-			o := opts
-			o.Seed = opts.Seed + uint64(s)*7919
-			o.Base.ORAM.Levels = levels
-			o.Base.ORAM.Z = config.Uniform(levels, 4)
-			o.Base.ORAM.UserBlocks = 0
-			r0, err := o.runOne(config.Baseline(), "random")
-			if err != nil {
-				return nil, err
-			}
-			// The paper re-runs its Z-finding algorithm per geometry; the
-			// integrated (Z>=2) profile is the one that passes the
-			// random-trace background-eviction constraint at every L here,
-			// so it stands in for the per-geometry search result.
-			r1, err := o.runProfile(config.IRAllocScheme(),
-				config.IROramProfile(levels, o.Base.ORAM.TopLevels), "random")
-			if err != nil {
-				return nil, err
-			}
+			i := (di*seeds + s) * 2
+			r0, r1 := results[i], results[i+1]
 			sps = append(sps, float64(r0.Cycles)/float64(r1.Cycles))
 		}
 		mean = append(mean, stats.Mean(sps))
@@ -425,43 +442,35 @@ func Fig16(opts Options, seeds int) (*stats.Table, error) {
 }
 
 // NoTimingProtection is the Section VI-A ablation: IR-Alloc's speedup with
-// the timing channel defence disabled (T=0) next to the protected runs.
+// the timing channel defence disabled (T=0) next to the protected runs. The
+// four (interval × scheme) sweeps run as one parallel batch.
 func NoTimingProtection(opts Options) (*stats.Table, error) {
 	benches := opts.benchmarks()
 	rows := append(append([]string{}, benches...), "gmean")
 	t := stats.NewTable("Ablation: IR-Alloc speedup with and without timing protection", rows...)
-	run := func(interval uint64, sch config.Scheme) ([]float64, error) {
-		cycles := make([]float64, len(benches))
-		for i, b := range benches {
-			o := opts
-			o.Base.ORAM.IntervalT = interval
-			res, err := o.runOne(sch, b)
-			if err != nil {
-				return nil, err
-			}
-			cycles[i] = float64(res.Cycles)
-		}
-		return cycles, nil
-	}
 	tp := opts.Base.ORAM.IntervalT
-	baseTP, err := run(tp, config.Baseline())
+	variants := []struct {
+		interval uint64
+		sch      config.Scheme
+	}{
+		{tp, config.Baseline()},
+		{tp, config.IRAllocScheme()},
+		{0, config.Baseline()},
+		{0, config.IRAllocScheme()},
+	}
+	nb := len(benches)
+	flat, err := mapCells(opts, len(variants)*nb, func(i int) (sim.Result, error) {
+		v := variants[i/nb]
+		o := opts
+		o.Base.ORAM.IntervalT = v.interval
+		return o.runOne(v.sch, benches[i%nb])
+	})
 	if err != nil {
 		return nil, err
 	}
-	allocTP, err := run(tp, config.IRAllocScheme())
-	if err != nil {
-		return nil, err
-	}
-	base0, err := run(0, config.Baseline())
-	if err != nil {
-		return nil, err
-	}
-	alloc0, err := run(0, config.IRAllocScheme())
-	if err != nil {
-		return nil, err
-	}
-	withTP := speedups(baseTP, allocTP)
-	without := speedups(base0, alloc0)
+	row := func(vi int) []float64 { return cyclesOf(flat[vi*nb : (vi+1)*nb]) }
+	withTP := speedups(row(0), row(1))
+	without := speedups(row(2), row(3))
 	withTP = append(withTP, stats.GeoMean(withTP))
 	without = append(without, stats.GeoMean(without))
 	t.AddSeries("with protection", withTP)

@@ -15,22 +15,18 @@ func Ring(opts Options) (*stats.Table, error) {
 	rows := append(append([]string{}, benches...), "gmean")
 	t := stats.NewTable("Ring ORAM integration (Section VII)", rows...)
 
-	base := make([]float64, len(benches))
-	for i, b := range benches {
-		res, err := opts.runOne(config.Baseline(), b)
-		if err != nil {
-			return nil, err
-		}
-		base[i] = float64(res.Cycles)
+	schemes := []config.Scheme{
+		config.Baseline(), config.RingScheme(), config.RingIRAlloc(),
 	}
-	for _, sch := range []config.Scheme{config.RingScheme(), config.RingIRAlloc()} {
+	grid, err := opts.runGrid(schemes, benches)
+	if err != nil {
+		return nil, err
+	}
+	base := cyclesOf(grid[0])
+	for si, sch := range schemes[1:] {
 		speed := make([]float64, len(benches))
 		blocks := make([]float64, len(benches))
-		for i, b := range benches {
-			res, err := opts.runOne(sch, b)
-			if err != nil {
-				return nil, err
-			}
+		for i, res := range grid[si+1] {
 			speed[i] = base[i] / float64(res.Cycles)
 			if total := res.ORAM.Paths.Total(); total > 0 {
 				blocks[i] = float64(res.ORAM.Paths.BlocksRead+res.ORAM.Paths.BlocksWrit) /

@@ -24,6 +24,13 @@ type SearchStep struct {
 // both evaluated on random memory traces (the worst case for middle-level
 // utilization). The search depends only on the ORAM configuration — not on
 // applications — so it runs once per deployment.
+//
+// The greedy loop itself is inherently sequential (each accepted move feeds
+// the next iteration), but all candidate evaluations within one iteration
+// are independent simulations and fan out across opts.Jobs workers. The
+// chosen move is selected from the evaluated batch in ascending level order
+// with a strict improvement test, which reproduces the sequential search's
+// result exactly.
 func ZSearch(opts Options) (config.ZProfile, []SearchStep, error) {
 	o := opts.Base.ORAM
 	base := config.Uniform(o.Levels, 4)
@@ -59,17 +66,21 @@ func ZSearch(opts Options) (config.ZProfile, []SearchStep, error) {
 		}
 	}
 
+	type eval struct {
+		cycles uint64
+		bg     uint64
+	}
 	var steps []SearchStep
 	for iter := 0; iter < 4*o.Levels; iter++ {
-		type move struct {
-			level  int
-			cycles uint64
-			bg     uint64
+		// Enumerate the candidate moves. Shrink middle levels top-down:
+		// upper levels hold the least data, so they are the cheapest to
+		// shrink (the paper's "gradually shrink lower levels" greedy order,
+		// expressed leaf-relative).
+		type candidate struct {
+			level int
+			prof  config.ZProfile
 		}
-		var best *move
-		// Shrink middle levels top-down: upper levels hold the least data,
-		// so they are the cheapest to shrink (the paper's "gradually
-		// shrink lower levels" greedy order, expressed leaf-relative).
+		var cands []candidate
 		for l := o.TopLevels; l < o.Levels-1; l++ {
 			if current[l] <= 1 {
 				continue
@@ -79,25 +90,33 @@ func ZSearch(opts Options) (config.ZProfile, []SearchStep, error) {
 			if cand.SpaceReductionVs(base, o.TopLevels) >= 0.01 {
 				continue
 			}
-			cyc, bg, err := evaluate(cand)
-			if err != nil {
-				return nil, nil, err
-			}
-			if bg > bgLimit {
+			cands = append(cands, candidate{level: l, prof: cand})
+		}
+		evals, err := mapCells(opts, len(cands), func(i int) (eval, error) {
+			cyc, bg, err := evaluate(cands[i].prof)
+			return eval{cycles: cyc, bg: bg}, err
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		bestIdx := -1
+		for i, e := range evals {
+			if e.bg > bgLimit {
 				continue
 			}
-			if cyc < baseCycles && (best == nil || cyc < best.cycles) {
-				best = &move{level: l, cycles: cyc, bg: bg}
+			if e.cycles < baseCycles && (bestIdx < 0 || e.cycles < evals[bestIdx].cycles) {
+				bestIdx = i
 			}
 		}
-		if best == nil {
+		if bestIdx < 0 {
 			break // local maximum in performance improvement
 		}
+		best := cands[bestIdx]
 		current[best.level]--
-		baseCycles = best.cycles
+		baseCycles = evals[bestIdx].cycles
 		steps = append(steps, SearchStep{
 			Level: best.level, NewZ: current[best.level],
-			Cycles: best.cycles, BgEvict: best.bg,
+			Cycles: evals[bestIdx].cycles, BgEvict: evals[bestIdx].bg,
 		})
 	}
 	return current, steps, nil

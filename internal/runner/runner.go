@@ -1,0 +1,215 @@
+// Package runner fans independent simulation cells across a bounded worker
+// pool with deterministic result collection.
+//
+// The experiment drivers in internal/experiments evaluate grids of
+// (scheme × benchmark) cells. Every cell constructs a private sim.System and
+// trace.Generator from the cell's configuration and seed, so cells share no
+// mutable state and are embarrassingly parallel. This package supplies the
+// one fan-out primitive they all use, Map, plus the seeding helper CellSeed.
+//
+// # Determinism contract
+//
+// Map guarantees that its result slice is ordered by cell index, never by
+// completion order, and every cell function must be a pure function of its
+// index (all randomness derived from an explicit per-cell seed, never from a
+// shared RNG stream or from scheduling). Under that contract the output of a
+// sweep is bit-identical for every worker count: Pool{Jobs: 1} reproduces
+// the historical sequential loops exactly, and Pool{Jobs: n} produces the
+// same bytes faster.
+//
+// # Concurrency contract
+//
+// A sim.System (and every generator, stash and DRAM model inside it) is
+// single-goroutine: parallelism is always one System per worker, built
+// inside the cell function. Cell functions run on pool goroutines; anything
+// they close over must be read-only for the duration of the sweep.
+// Cancellation is checked at cell boundaries — an individual cell, once
+// started, runs to completion (the simulators have no preemption points),
+// but no new cell starts after the context is cancelled or a cell fails.
+package runner
+
+import (
+	"context"
+	"encoding/binary"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Progress reports how far a batch of cells has advanced. It is delivered to
+// Pool.OnProgress after each cell completes.
+type Progress struct {
+	// Done and Total count completed and scheduled cells of the batch.
+	Done, Total int
+	// Elapsed is the wall-clock time since the batch started.
+	Elapsed time.Duration
+}
+
+// Fraction returns completion as a value in [0, 1].
+func (p Progress) Fraction() float64 {
+	if p.Total == 0 {
+		return 1
+	}
+	return float64(p.Done) / float64(p.Total)
+}
+
+// ETA estimates the remaining wall-clock time by linear extrapolation of the
+// per-cell rate observed so far; it returns 0 until the first cell lands.
+func (p Progress) ETA() time.Duration {
+	if p.Done == 0 || p.Done >= p.Total {
+		return 0
+	}
+	return p.Elapsed / time.Duration(p.Done) * time.Duration(p.Total-p.Done)
+}
+
+// Pool configures how a batch of independent cells is executed.
+//
+// The zero value is valid: it runs on GOMAXPROCS workers with a background
+// context and no progress reporting.
+type Pool struct {
+	// Jobs bounds the number of concurrently executing cells. Zero or
+	// negative means runtime.GOMAXPROCS(0). Jobs == 1 executes cells inline
+	// on the calling goroutine, reproducing a plain sequential loop.
+	Jobs int
+	// Context cancels the sweep at the next cell boundary; nil means
+	// context.Background().
+	Context context.Context
+	// OnProgress, when non-nil, observes each completed cell. Calls are
+	// serialized (never concurrent with each other), but under Jobs > 1 they
+	// arrive in completion order, so Done is monotone while the cell that
+	// finished is unspecified.
+	OnProgress func(Progress)
+}
+
+func (p Pool) jobs() int {
+	if p.Jobs > 0 {
+		return p.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (p Pool) context() context.Context {
+	if p.Context != nil {
+		return p.Context
+	}
+	return context.Background()
+}
+
+// Map runs fn(i) for every i in [0, n) on the pool's workers and returns the
+// results ordered by index. The first cell error cancels the sweep: cells
+// already in flight finish, no new cell starts, and the error of the
+// lowest-index failed cell is returned. If the pool's context is cancelled
+// the sweep stops the same way and returns the context's error.
+func Map[T any](p Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	outer := p.context()
+	jobs := p.jobs()
+	if jobs > n {
+		jobs = n
+	}
+	start := time.Now()
+
+	if jobs <= 1 {
+		// Inline fast path: byte-for-byte the historical sequential loop,
+		// with cancellation checked between cells.
+		for i := 0; i < n; i++ {
+			if err := outer.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = v
+			p.report(Progress{Done: i + 1, Total: n, Elapsed: time.Since(start)})
+		}
+		return results, nil
+	}
+
+	ctx, cancel := context.WithCancel(outer)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		done     int
+		firstErr error
+		errIndex = -1
+	)
+	// The feeder stops handing out indices as soon as the sweep is
+	// cancelled, which is what bounds post-error work to the cells already
+	// in flight.
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := 0; i < n; i++ {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < jobs; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				v, err := fn(i)
+				mu.Lock()
+				if err != nil {
+					if errIndex < 0 || i < errIndex {
+						firstErr, errIndex = err, i
+					}
+					mu.Unlock()
+					cancel()
+					continue
+				}
+				results[i] = v
+				done++
+				p.report(Progress{Done: done, Total: n, Elapsed: time.Since(start)})
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if errIndex >= 0 {
+		return nil, firstErr
+	}
+	if err := outer.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+func (p Pool) report(pr Progress) {
+	if p.OnProgress != nil {
+		p.OnProgress(pr)
+	}
+}
+
+// CellSeed derives a stable per-cell seed from a base seed and the cell's
+// identity labels (scheme name, benchmark name, sweep index, ...) via
+// FNV-1a. Identical inputs yield the identical seed on every platform and in
+// every scheduling order, and distinct label tuples yield uncorrelated seeds
+// once passed through the simulator's splitmix64 seeding.
+//
+// The experiment drivers seed each cell as a pure function of (base seed,
+// cell identity); for single-seed sweeps that function is the identity on
+// the base seed (each cell builds a private System from it), while
+// multi-seed sweeps use CellSeed to decorrelate repetitions without any
+// shared RNG stream.
+func CellSeed(base uint64, labels ...string) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], base)
+	h.Write(b[:])
+	for _, l := range labels {
+		h.Write([]byte{0})
+		h.Write([]byte(l))
+	}
+	return h.Sum64()
+}

@@ -3,6 +3,22 @@
 // timing model. One System runs one workload under one scheme; experiments
 // construct a fresh System per (scheme, benchmark) pair so runs never share
 // state.
+//
+// # Concurrency contract
+//
+// A System is strictly single-goroutine: nothing in it (controller, stash,
+// caches, DRAM model, RNG streams) is synchronized, and a System must never
+// be shared across goroutines. Parallel sweeps get their speedup one level
+// up — internal/runner fans independent cells across workers, and each
+// worker builds its own System via New inside the cell. Constructing
+// Systems concurrently is safe (New touches only its own allocations).
+//
+// # Determinism
+//
+// Given a config.System (including its Seed) and a deterministic
+// trace.Generator, a run is bit-reproducible: all randomness flows from
+// rng.New(cfg.Seed) streams owned by this System. That is what lets the
+// experiment harness promise byte-identical tables for every worker count.
 package sim
 
 import (

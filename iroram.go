@@ -4,6 +4,7 @@ import (
 	"iroram/internal/config"
 	"iroram/internal/experiments"
 	"iroram/internal/obliv"
+	"iroram/internal/runner"
 	"iroram/internal/sim"
 	"iroram/internal/stats"
 	"iroram/internal/trace"
@@ -132,8 +133,26 @@ func RunBenchmark(cfg Config, benchmark string, requests int) (Result, error) {
 	return sys.Run(gen, requests), nil
 }
 
-// ExperimentOptions scales a figure regeneration run.
+// ExperimentOptions scales a figure regeneration run and configures its
+// parallelism: Jobs bounds the number of concurrently simulated
+// (scheme, benchmark) cells (0 means GOMAXPROCS; 1 reproduces the
+// sequential loops exactly), Context cancels an in-flight sweep at the next
+// cell boundary, and Progress observes per-batch completion. Results are
+// bit-identical for every Jobs value — see the experiments package doc for
+// the determinism contract.
 type ExperimentOptions = experiments.Options
+
+// Progress reports how far a parallel experiment batch has advanced; it is
+// delivered to ExperimentOptions.Progress after each completed cell.
+type Progress = runner.Progress
+
+// CellSeed derives a stable per-cell seed from a base seed and identity
+// labels (scheme, benchmark, sweep index, ...). Use it to decorrelate
+// repetitions of a sweep without sharing an RNG stream across cells, which
+// would make results depend on scheduling.
+func CellSeed(base uint64, labels ...string) uint64 {
+	return runner.CellSeed(base, labels...)
+}
 
 // DefaultExperiments returns full-fidelity options (scaled geometry).
 func DefaultExperiments() ExperimentOptions { return experiments.Default() }
