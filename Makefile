@@ -1,16 +1,19 @@
 # Verification targets for the iroram reproduction.
 #
-#   make build   compile everything
-#   make vet     static analysis
-#   make test    unit + experiment tests (tier-1)
-#   make race    full tree under the race detector (the parallel
-#                experiment engine must stay race-clean)
-#   make check   all of the above — the documented verification flow
-#   make bench   benchmark harness (one benchmark per paper figure)
+#   make build      compile everything
+#   make vet        static analysis
+#   make test       unit + experiment tests (tier-1)
+#   make race       full tree under the race detector (the parallel
+#                   experiment engine must stay race-clean)
+#   make alloccheck gate: the steady-state path access must not allocate
+#   make check      all of the above — the documented verification flow
+#   make bench      benchmark harness (one benchmark per paper figure)
+#   make benchjson  performance-trajectory snapshot (BENCH_pr3.json)
+#   make profile    CPU+heap profile of a quick fig10 regeneration
 
 GO ?= go
 
-.PHONY: build vet test race check bench
+.PHONY: build vet test race alloccheck check bench benchjson profile
 
 build:
 	$(GO) build ./...
@@ -24,7 +27,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-check: build vet test race
+alloccheck:
+	$(GO) run ./cmd/benchjson -check
+
+check: build vet test race alloccheck
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+benchjson:
+	$(GO) run ./cmd/benchjson -out BENCH_pr3.json
+
+profile:
+	$(GO) run ./cmd/experiments -fig fig10 -quick -progress=false \
+		-cpuprofile cpu.pprof -memprofile mem.pprof > /dev/null
+	@echo "wrote cpu.pprof and mem.pprof; inspect with:"
+	@echo "  $(GO) tool pprof -top cpu.pprof"
+	@echo "  $(GO) tool pprof -sample_index=alloc_space -top mem.pprof"

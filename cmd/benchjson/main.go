@@ -1,0 +1,162 @@
+// Command benchjson runs the repository's performance-trajectory
+// benchmarks programmatically (testing.Benchmark, no `go test` plumbing)
+// and writes one JSON snapshot per PR: benchmark name -> ns/op, B/op and
+// allocs/op, plus the headline quick-scale figure metrics so a perf
+// regression that shifts paper-facing numbers is visible in the same file.
+//
+// Usage:
+//
+//	benchjson -out BENCH_pr3.json   # write the snapshot (make benchjson)
+//	benchjson -check                # gate: fail if the steady-state path
+//	                                # access allocates (make check)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"iroram"
+	"iroram/internal/block"
+	"iroram/internal/config"
+	"iroram/internal/core"
+	"iroram/internal/dram"
+	"iroram/internal/rng"
+)
+
+type benchEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	// Benchmarks are wall-clock microbenchmarks; they vary run to run with
+	// the host, unlike Metrics, which are deterministic simulation outputs.
+	Benchmarks map[string]benchEntry `json:"benchmarks"`
+	// Metrics are the quick-scale fig10 geomean speedups over Baseline —
+	// the repository's headline paper-facing numbers.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		out   = flag.String("out", "BENCH_pr3.json", "output file")
+		check = flag.Bool("check", false,
+			"only verify that BenchmarkPathAccess performs 0 allocs/op; no file is written")
+	)
+	flag.Parse()
+
+	pathAccess := testing.Benchmark(benchPathAccess)
+	if *check {
+		if allocs := pathAccess.AllocsPerOp(); allocs != 0 {
+			fmt.Fprintf(os.Stderr,
+				"benchjson: steady-state path access allocates (%d allocs/op, %d B/op); the hot path must stay allocation-free\n",
+				allocs, pathAccess.AllocedBytesPerOp())
+			return 1
+		}
+		fmt.Println("benchjson: PathAccess 0 allocs/op ok")
+		return 0
+	}
+
+	rep := report{
+		Benchmarks: map[string]benchEntry{
+			"PathAccess":   toEntry(pathAccess),
+			"ServiceBatch": toEntry(testing.Benchmark(benchServiceBatch)),
+			"ServicePath":  toEntry(testing.Benchmark(benchServicePath)),
+		},
+		Metrics: map[string]float64{},
+	}
+
+	opts := iroram.QuickExperiments()
+	tab, err := iroram.Experiment("fig10", opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: fig10: %v\n", err)
+		return 1
+	}
+	for _, series := range []string{"Rho", "IR-Alloc", "IR-Stash", "IR-DWB", "IR-ORAM"} {
+		if v, ok := tab.Get("gmean", series); ok {
+			rep.Metrics["fig10_gmean_"+series] = v
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	fmt.Printf("benchjson: wrote %s (PathAccess %.0f ns/op, %d allocs/op)\n",
+		*out, float64(pathAccess.NsPerOp()), pathAccess.AllocsPerOp())
+	return 0
+}
+
+func toEntry(r testing.BenchmarkResult) benchEntry {
+	return benchEntry{
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// benchPathAccess mirrors BenchmarkPathAccess in bench_test.go: end-to-end
+// demand accesses (PLB misses and all) on the tiny geometry, warmed up so
+// the steady state is measured.
+func benchPathAccess(b *testing.B) {
+	cfg := config.Tiny().WithScheme(config.Baseline())
+	mem := dram.New(cfg.DRAM)
+	c, err := core.NewController(cfg, mem, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	is := core.NewIssuer(c, nil)
+	r := rng.New(2)
+	nd := cfg.ORAM.DataBlocks()
+	now := uint64(0)
+	for i := 0; i < 2000; i++ {
+		now = is.ReadBlock(now, block.ID(r.Uint64n(nd)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = is.ReadBlock(now, block.ID(r.Uint64n(nd)))
+	}
+}
+
+func benchServiceBatch(b *testing.B) {
+	m := dram.New(config.Scaled().DRAM)
+	accs := make([]dram.Access, 44)
+	for i := range accs {
+		accs[i] = dram.Access{Addr: uint64(i * 37)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var now uint64
+	for i := 0; i < b.N; i++ {
+		now = m.ServiceBatch(now, accs)
+	}
+}
+
+func benchServicePath(b *testing.B) {
+	m := dram.New(config.Scaled().DRAM)
+	phys := make([]uint64, 44)
+	for i := range phys {
+		phys[i] = uint64(i * 37)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var now uint64
+	for i := 0; i < b.N; i++ {
+		now = m.ServicePath(now, phys, 0, false)
+	}
+}

@@ -24,9 +24,17 @@ import (
 	"time"
 
 	"iroram"
+	"iroram/internal/prof"
 )
 
+// main defers to run so profile flushing (and every other defer) survives
+// the error exits; os.Exit directly in the work loop would truncate the
+// pprof output.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		fig      = flag.String("fig", "all", "experiment: table2, fig2..fig16, notp, zsearch, or all")
 		requests = flag.Int("requests", 30000, "trace records per run")
@@ -37,8 +45,17 @@ func main() {
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0),
 			"parallel simulation cells (1 = sequential; results are identical for every value)")
 		progress = flag.Bool("progress", true, "report cell progress and ETA on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		return 2
+	}
+	defer stopProf()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -55,7 +72,7 @@ func main() {
 		list, err := parseBenchmarks(*benches)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		opts.Benchmarks = list
 	}
@@ -65,7 +82,7 @@ func main() {
 		f, err := os.OpenFile(*out, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		sink = f
@@ -87,27 +104,28 @@ func main() {
 			opts.Progress = progressPrinter(name)
 		}
 		if name == "zsearch" {
-			prof, desc, err := iroram.SearchZProfile(opts)
+			zprof, desc, err := iroram.SearchZProfile(opts)
 			clearProgress(*progress)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: zsearch: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			emit(fmt.Sprintf("Z-search result: %s\n(per-path blocks: %d)\n\n",
-				desc, prof.BlocksPerPath(opts.Base.ORAM.TopLevels)))
+				desc, zprof.BlocksPerPath(opts.Base.ORAM.TopLevels)))
 			continue
 		}
 		tab, err := iroram.Experiment(name, opts)
 		clearProgress(*progress)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		emit(tab.String())
 		emit("\n")
 		fmt.Fprintf(os.Stderr, "[%s took %v, jobs=%d]\n",
 			name, time.Since(start).Round(time.Millisecond), *jobs)
 	}
+	return 0
 }
 
 // parseBenchmarks splits a comma-separated benchmark list, trimming

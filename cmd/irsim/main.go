@@ -15,9 +15,15 @@ import (
 
 	"iroram"
 	"iroram/internal/block"
+	"iroram/internal/prof"
 )
 
+// main defers to run so the pprof outputs flush on every exit path.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		scheme   = flag.String("scheme", "Baseline", "scheme: Baseline, Rho, IR-Alloc, IR-Stash, IR-DWB, IR-ORAM, LLC-D")
 		bench    = flag.String("bench", "mix", `workload: a Table II benchmark, "mix", or "random"`)
@@ -25,12 +31,20 @@ func main() {
 		levels   = flag.Int("levels", 0, "override ORAM tree levels (0 = scaled default, 25 = Table I)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		compare  = flag.Bool("compare", false, "run every scheme on the workload and print a comparison")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	stopProf, err := prof.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irsim: %v\n", err)
+		return 2
+	}
+	defer stopProf()
+
 	if *compare {
-		runComparison(*bench, *requests, *levels, *seed)
-		return
+		return runComparison(*bench, *requests, *levels, *seed)
 	}
 
 	cfg := iroram.ScaledConfig()
@@ -52,17 +66,17 @@ func main() {
 	}
 	if !found {
 		fmt.Fprintf(os.Stderr, "irsim: unknown scheme %q\n", *scheme)
-		os.Exit(2)
+		return 2
 	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintf(os.Stderr, "irsim: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 
 	res, err := iroram.RunBenchmark(cfg, *bench, *requests)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "irsim: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
 	fmt.Printf("scheme        %s\n", cfg.Scheme.Name)
@@ -94,10 +108,11 @@ func main() {
 		fmt.Printf("WARNING       %d issue-gap violations (obliviousness audit)\n",
 			res.ORAM.NonUniformIssues)
 	}
+	return 0
 }
 
 // runComparison is -compare: every scheme on one workload, one line each.
-func runComparison(bench string, requests, levels int, seed uint64) {
+func runComparison(bench string, requests, levels int, seed uint64) int {
 	fmt.Printf("%-10s %14s %9s %8s %8s %8s %8s\n",
 		"scheme", "cycles", "speedup", "paths", "PTp", "dummies", "blk/acc")
 	var baseCycles float64
@@ -114,7 +129,7 @@ func runComparison(bench string, requests, levels int, seed uint64) {
 		res, err := iroram.RunBenchmark(cfg, bench, requests)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "irsim: %s: %v\n", sch.Name, err)
-			os.Exit(1)
+			return 1
 		}
 		if baseCycles == 0 {
 			baseCycles = float64(res.Cycles)
@@ -128,4 +143,5 @@ func runComparison(bench string, requests, levels int, seed uint64) {
 			sch.Name, res.Cycles, baseCycles/float64(res.Cycles), total,
 			res.ORAM.PosMapPaths, res.ORAM.DummyPaths, blkPerAcc)
 	}
+	return 0
 }

@@ -51,10 +51,16 @@ type Controller struct {
 	rho  *rhoState  // non-nil when the ρ scheme is active
 	ring *ringState // non-nil when the Ring ORAM protocol is active
 
-	// Scratch buffers reused across path accesses.
-	physBuf []uint64
-	accBuf  []dram.Access
-	fetched map[block.ID]bool
+	// Scratch buffers reused across path accesses, so the steady-state hot
+	// path allocates nothing (guarded by TestPathAccessZeroAllocs and the
+	// make-check benchmark gate).
+	physBuf   []uint64
+	accBuf    []dram.Access // cold paths only: ring reshuffles, context switch
+	fetched   map[block.ID]bool
+	readBuf   []tree.Entry   // read-phase entries (tree + top segment)
+	evictList [][]tree.Entry // per-level candidates for evictOntoPath
+	evictBuf  []tree.Entry   // eviction candidate pool / spillover
+	placeMain func(tree.Entry, int) // recordMigration adapter, built once
 }
 
 // NewController builds and initializes a controller: the position map is
@@ -81,10 +87,12 @@ func NewController(cfg config.System, mem *dram.Model, r *rng.Source) (*Controll
 		plb:      cache.New(o.PLBEntries/o.PLBWays, o.PLBWays),
 		mem:      mem,
 		rng:      r,
-		st:       newStats(o.Levels),
-		minLevel: minLevel,
-		fetched:  make(map[block.ID]bool, 128),
+		st:        newStats(o.Levels),
+		minLevel:  minLevel,
+		fetched:   make(map[block.ID]bool, 128),
+		evictList: make([][]tree.Entry, o.Levels),
 	}
+	c.placeMain = func(e tree.Entry, level int) { c.recordMigration(e.Addr, level) }
 	switch cfg.Scheme.Top {
 	case config.TopDedicated:
 		c.top = stash.NewTopCache(o.Levels, o.TopLevels, o.Z)
@@ -181,79 +189,41 @@ func (c *Controller) randomLeaf() block.Leaf {
 // traffic that IR-Alloc reduces.
 func (c *Controller) pathAccess(now uint64, leaf block.Leaf, target block.ID,
 	ptype block.PathType) (found bool, done uint64) {
-	// Read phase: the memory segment of the path.
+	// Read phase: the memory segment of the path, serviced straight from
+	// the physical address list (no []dram.Access rebuild).
 	c.physBuf = c.layout.PathPhys(leaf, c.physBuf[:0])
-	c.accBuf = c.accBuf[:0]
-	for _, a := range c.physBuf {
-		c.accBuf = append(c.accBuf, dram.Access{Addr: a})
-	}
-	readDone := c.mem.ServiceBatch(now, c.accBuf)
+	readDone := c.mem.ServicePath(now, c.physBuf, 0, false)
 
 	clear(c.fetched)
-	insert := func(entries []tree.Entry) {
-		for _, e := range entries {
-			c.fetched[e.Addr] = true
-			if e.Addr == target {
-				found = true
-				continue
-			}
-			c.fstash.Insert(e)
-		}
-	}
-	insert(c.tr.ReadPath(leaf))
+	c.readBuf = c.tr.ReadPath(leaf, c.readBuf[:0])
 	if c.top != nil {
-		insert(c.top.ReadPath(leaf))
+		c.readBuf = c.top.ReadPath(leaf, c.readBuf)
+	}
+	for _, e := range c.readBuf {
+		c.fetched[e.Addr] = true
+		if e.Addr == target {
+			found = true
+			continue
+		}
+		c.fstash.Insert(e)
 	}
 
-	// Write phase: memory levels leaf-to-minLevel, greedy deepest-first.
-	for l := c.o.Levels - 1; l >= c.minLevel; l-- {
-		take := c.fstash.TakeForBucket(leaf, l, c.o.Levels, c.o.Z[l], nil)
-		for _, e := range take {
-			c.recordMigration(e.Addr, l)
-		}
-		c.tr.FillBucket(l, leaf, take)
-	}
-	// On-chip segment: per-entry fills, honoring S-Stash conflict refusals
-	// ("skip picking this block for this round").
-	if c.top != nil {
-		c.fillTopPath(leaf)
-	}
+	// Write phase: single-pass deepest-first eviction, memory levels bulk
+	// filled and the on-chip segment honoring S-Stash conflict refusals
+	// ("skip picking this block for this round"). See eviction.go.
+	c.evictBuf = evictOntoPath(c.fstash, c.tr, c.top, c.o.Z, c.minLevel,
+		c.o.Levels, leaf, c.evictList, c.evictBuf, c.placeMain)
 
 	// Write phase DRAM traffic: the same physical blocks, written. The
 	// batch is posted (its completion time is not waited on); it occupies
 	// the channel buses and delays whatever issues next.
-	c.accBuf = c.accBuf[:0]
-	for _, a := range c.physBuf {
-		c.accBuf = append(c.accBuf, dram.Access{Addr: a, Write: true})
-	}
-	c.mem.PostWrites(readDone, c.accBuf)
+	c.mem.PostWritePath(readDone, c.physBuf, 0)
 
 	c.st.Paths.Add(ptype, len(c.physBuf), len(c.physBuf))
 	if c.st.RecordLeaves {
 		c.st.Leaves = append(c.st.Leaves, leaf)
 	}
 	return found, readDone + c.o.OnChipLatency
-}
-
-func (c *Controller) fillTopPath(leaf block.Leaf) {
-	for l := c.minLevel - 1; l >= 0; l-- {
-		refused := make(map[block.ID]bool)
-		for placed := 0; placed < c.o.Z[l]; {
-			cand := c.fstash.TakeForBucket(leaf, l, c.o.Levels, 1,
-				func(e tree.Entry) bool { return !refused[e.Addr] })
-			if len(cand) == 0 {
-				break
-			}
-			e := cand[0]
-			if c.top.Fill(l, leaf, e) {
-				c.recordMigration(e.Addr, l)
-				placed++
-			} else {
-				refused[e.Addr] = true
-				c.fstash.Insert(e)
-			}
-		}
-	}
 }
 
 func (c *Controller) recordMigration(addr block.ID, level int) {
@@ -314,10 +284,9 @@ func (c *Controller) CheckInvariants() error {
 		return nil
 	}
 	var err error
-	c.fstash.Each(func(e tree.Entry) {
-		if err == nil {
-			err = note(e.Addr, "fstash")
-		}
+	c.fstash.EachUntil(func(e tree.Entry) bool {
+		err = note(e.Addr, "fstash")
+		return err == nil
 	})
 	if err != nil {
 		return err

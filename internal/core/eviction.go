@@ -1,0 +1,148 @@
+package core
+
+import (
+	"iroram/internal/block"
+	"iroram/internal/config"
+	"iroram/internal/stash"
+	"iroram/internal/tree"
+)
+
+// This file implements the write phase of a path access — draining the
+// F-Stash into the just-read path, deepest bucket first.
+//
+// The hot implementation (evictOntoPath) is the single-pass formulation of
+// the original Path ORAM paper (Stefanov et al.): one walk over the stash
+// classifies every entry by its deepest placeable level on the current path
+// (tree.DeepestLevel, a leaf-XOR + leading-zero count), then buckets are
+// filled deepest-first from the per-level lists, with entries that did not
+// fit spilling toward the root. Cost is O(stash + path). The pre-PR3
+// formulation — one full stash scan per tree level via
+// stash.FStash.TakeForBucket — is O(levels × stash) and is retained below
+// (evictOntoPathReference) as the oracle for the differential tests in
+// eviction_test.go.
+//
+// The two implementations place the same NUMBER of blocks at every level of
+// the path (both are maximal greedy deepest-first evictions; see
+// TestEvictionDifferential), but may pick DIFFERENT blocks when more
+// candidates fit a level than the bucket holds: the reference scan picks by
+// stash storage order, the single-pass picks deepest-candidates-first.
+// Recorded experiment tables were re-baselined for this tie-break change in
+// EXPERIMENTS.md (PR 3); both orders are deterministic, so tables remain
+// byte-identical across runs and -jobs values.
+
+// evictOntoPath drains fs onto the path of leaf: memory-resident levels
+// [minLevel, levels) are bulk-filled into tr, and — when top is non-nil —
+// the on-chip levels [0, minLevel) are filled per-entry through top.Fill,
+// honoring its refusals (S-Stash set conflicts, the paper's "skip picking
+// this block for this round" rule); refused blocks stay candidates for
+// shallower levels, exactly like the reference scan. Entries that fit
+// nowhere return to the stash.
+//
+// lists (at least `levels` slices) and buf are caller-owned scratch reused
+// across paths; onPlace, when non-nil, observes every placement. The
+// returned slice is buf's (possibly grown) backing for the caller to keep.
+func evictOntoPath(fs *stash.FStash, tr *tree.Tree, top stash.TopStore,
+	z config.ZProfile, minLevel, levels int, leaf block.Leaf,
+	lists [][]tree.Entry, buf []tree.Entry,
+	onPlace func(e tree.Entry, level int)) []tree.Entry {
+
+	low := minLevel
+	if top != nil {
+		low = 0
+	}
+	for l := low; l < levels; l++ {
+		lists[l] = lists[l][:0]
+	}
+	fs.TakeForPath(leaf, low, levels, lists)
+
+	// buf[head:] is the candidate pool for the current level: entries whose
+	// deepest placeable level was deeper but which did not fit there. Each
+	// level appends its own deepest-here entries behind the spillover, so
+	// pool order is deterministic: deeper-classified entries first.
+	buf = buf[:0]
+	head := 0
+	for l := levels - 1; l >= minLevel; l-- {
+		buf = append(buf, lists[l]...)
+		n := z[l]
+		if avail := len(buf) - head; n > avail {
+			n = avail
+		}
+		take := buf[head : head+n]
+		if onPlace != nil {
+			for _, e := range take {
+				onPlace(e, l)
+			}
+		}
+		tr.FillBucket(l, leaf, take)
+		head += n
+	}
+	if top != nil {
+		for l := minLevel - 1; l >= 0; l-- {
+			buf = append(buf, lists[l]...)
+			placed, w := 0, head
+			for r := head; r < len(buf); r++ {
+				e := buf[r]
+				if placed < z[l] && top.Fill(l, leaf, e) {
+					if onPlace != nil {
+						onPlace(e, l)
+					}
+					placed++
+					continue
+				}
+				buf[w] = e
+				w++
+			}
+			buf = buf[:w]
+		}
+	}
+	for _, e := range buf[head:] {
+		fs.Insert(e)
+	}
+	return buf[:0]
+}
+
+// evictOntoPathReference is the pre-PR3 write phase, kept unexported as the
+// differential-test oracle: for each level, leaf-to-root, rescan the whole
+// stash for blocks placeable in that level's bucket (TakeForBucket), then
+// fill the on-chip segment one block at a time, re-stashing refused blocks.
+// refused and takeBuf are caller-owned scratch (refused is cleared per
+// level, preserving the historical retry-at-shallower-levels semantics
+// without the historical per-level map allocation).
+func evictOntoPathReference(fs *stash.FStash, tr *tree.Tree, top stash.TopStore,
+	z config.ZProfile, minLevel, levels int, leaf block.Leaf,
+	refused map[block.ID]bool, takeBuf []tree.Entry,
+	onPlace func(e tree.Entry, level int)) {
+
+	for l := levels - 1; l >= minLevel; l-- {
+		take := fs.TakeForBucket(leaf, l, levels, z[l], nil, takeBuf[:0])
+		if onPlace != nil {
+			for _, e := range take {
+				onPlace(e, l)
+			}
+		}
+		tr.FillBucket(l, leaf, take)
+	}
+	if top == nil {
+		return
+	}
+	for l := minLevel - 1; l >= 0; l-- {
+		clear(refused)
+		for placed := 0; placed < z[l]; {
+			cand := fs.TakeForBucket(leaf, l, levels, 1,
+				func(e tree.Entry) bool { return !refused[e.Addr] }, takeBuf[:0])
+			if len(cand) == 0 {
+				break
+			}
+			e := cand[0]
+			if top.Fill(l, leaf, e) {
+				if onPlace != nil {
+					onPlace(e, l)
+				}
+				placed++
+			} else {
+				refused[e.Addr] = true
+				fs.Insert(e)
+			}
+		}
+	}
+}

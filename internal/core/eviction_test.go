@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"iroram/internal/block"
+	"iroram/internal/config"
+	"iroram/internal/dram"
+	"iroram/internal/rng"
+	"iroram/internal/stash"
+	"iroram/internal/tree"
+)
+
+// TestEvictionDifferential replays every write phase of a long randomized
+// workload through both eviction implementations and checks that they agree
+// on the one property the experiments depend on: how MANY blocks land at
+// each level of the path (both are maximal greedy deepest-first evictions,
+// so per-level placement counts are uniquely determined by the stash
+// contents even though block SELECTION may differ — see eviction.go).
+//
+// The reference runs on shadow state snapshotted just before the write
+// phase: the F-Stash cloned in storage order (iteration order is part of
+// both algorithms' contract) and fresh, empty tree/top structures standing
+// in for the just-drained path buckets. That keeps the oracle exact for
+// TopNone and the dedicated top cache; IR-Stash is excluded because its
+// S-Stash refusals depend on global set occupancy that a fresh shadow
+// cannot reproduce.
+func TestEvictionDifferential(t *testing.T) {
+	schemes := []config.Scheme{
+		config.Baseline(),
+		{Name: "NoTop", Top: config.TopNone},
+	}
+	for _, sch := range schemes {
+		sch := sch
+		t.Run(sch.Name, func(t *testing.T) {
+			cfg := config.Tiny().WithScheme(sch)
+			mem := dram.New(cfg.DRAM)
+			c, err := NewController(cfg, mem, rng.New(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			is := NewIssuer(c, nil)
+			r := rng.New(12)
+			nd := cfg.ORAM.DataBlocks()
+
+			liveCounts := make([]int, c.o.Levels)
+			refCounts := make([]int, c.o.Levels)
+			refused := make(map[block.ID]bool, 16)
+			takeBuf := make([]tree.Entry, 0, 64)
+			now := uint64(0)
+
+			const accesses = 2500
+			for i := 0; i < accesses; i++ {
+				// Real demand access for churn: remaps keep the stash and
+				// the per-level candidate structure non-trivial.
+				now = is.ReadBlock(now, block.ID(r.Uint64n(nd)))
+
+				// One manual path access with the write phase run through
+				// both implementations (protocol-wise a background
+				// eviction: random leaf, no target).
+				leaf := block.Leaf(r.Uint64n(c.o.LeafCount()))
+				c.readBuf = c.tr.ReadPath(leaf, c.readBuf[:0])
+				if c.top != nil {
+					c.readBuf = c.top.ReadPath(leaf, c.readBuf)
+				}
+				for _, e := range c.readBuf {
+					c.fstash.Insert(e)
+				}
+
+				// Snapshot for the oracle, preserving storage order.
+				shadow := stash.NewFStash(c.fstash.Capacity())
+				c.fstash.Each(func(e tree.Entry) { shadow.Insert(e) })
+				shadowTr := tree.New(c.o, c.minLevel)
+				var shadowTop stash.TopStore
+				if c.top != nil {
+					shadowTop = stash.NewTopCache(c.o.Levels, c.o.TopLevels, c.o.Z)
+				}
+
+				clear(liveCounts)
+				clear(refCounts)
+				c.evictBuf = evictOntoPath(c.fstash, c.tr, c.top, c.o.Z,
+					c.minLevel, c.o.Levels, leaf, c.evictList, c.evictBuf,
+					func(e tree.Entry, l int) {
+						liveCounts[l]++
+						if !tree.SameSubtree(leaf, e.Leaf, l, c.o.Levels) {
+							t.Fatalf("access %d: illegal placement of %v (leaf %d) at level %d of path %d",
+								i, e.Addr, e.Leaf, l, leaf)
+						}
+					})
+				evictOntoPathReference(shadow, shadowTr, shadowTop, c.o.Z,
+					c.minLevel, c.o.Levels, leaf, refused, takeBuf,
+					func(e tree.Entry, l int) { refCounts[l]++ })
+
+				for l := range liveCounts {
+					if liveCounts[l] != refCounts[l] {
+						t.Fatalf("access %d leaf %d: placement counts diverge at level %d: single-pass %v, reference %v",
+							i, leaf, l, liveCounts, refCounts)
+					}
+					if liveCounts[l] > c.o.Z[l] {
+						t.Fatalf("access %d: %d placements at level %d exceed Z=%d",
+							i, liveCounts[l], l, c.o.Z[l])
+					}
+				}
+				if got, want := c.fstash.Len(), shadow.Len(); got != want {
+					t.Fatalf("access %d: stash residue diverges: single-pass %d, reference %d", i, got, want)
+				}
+				c.mem.PostWritePath(now, c.layout.PathPhys(leaf, c.physBuf[:0]), 0)
+
+				if i%500 == 0 {
+					if err := c.CheckInvariants(); err != nil {
+						t.Fatalf("access %d: %v", i, err)
+					}
+				}
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPathAccessZeroAllocs pins the PR 3 zero-allocation guarantee: after
+// warm-up, a steady-state demand access (including its PosMap recursion,
+// eviction and DRAM traffic) performs no heap allocations. Guarded here and
+// by the make-check gate on BenchmarkPathAccess allocs/op.
+func TestPathAccessZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts differ under -race instrumentation")
+	}
+	for _, sch := range []config.Scheme{config.Baseline(), config.IROramScheme()} {
+		sch := sch
+		t.Run(sch.Name, func(t *testing.T) {
+			cfg := config.Tiny().WithScheme(sch)
+			mem := dram.New(cfg.DRAM)
+			c, err := NewController(cfg, mem, rng.New(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			is := NewIssuer(c, nil)
+			r := rng.New(2)
+			nd := cfg.ORAM.DataBlocks()
+			now := uint64(0)
+			// Warm up: let scratch buffers, the stash index and the posted
+			// write queue reach steady-state capacity.
+			for i := 0; i < 4000; i++ {
+				now = is.ReadBlock(now, block.ID(r.Uint64n(nd)))
+			}
+			avg := testing.AllocsPerRun(400, func() {
+				now = is.ReadBlock(now, block.ID(r.Uint64n(nd)))
+			})
+			if avg != 0 {
+				t.Errorf("steady-state ReadBlock allocates %.2f times per access, want 0", avg)
+			}
+		})
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// tests skip under it because instrumentation changes escape analysis.
+const raceEnabled = true

@@ -5,7 +5,6 @@ import (
 
 	"iroram/internal/block"
 	"iroram/internal/config"
-	"iroram/internal/dram"
 	"iroram/internal/stash"
 	"iroram/internal/tree"
 )
@@ -97,46 +96,28 @@ func (c *Controller) rhoPathAccess(now uint64, leaf block.Leaf, target block.ID,
 	ptype block.PathType) (found bool, done uint64) {
 	r := c.rho
 	c.physBuf = r.layout.PathPhys(leaf, c.physBuf[:0])
-	c.accBuf = c.accBuf[:0]
-	for _, a := range c.physBuf {
-		c.accBuf = append(c.accBuf, dram.Access{Addr: a + r.physOff})
-	}
-	readDone := c.mem.ServiceBatch(now, c.accBuf)
+	readDone := c.mem.ServicePath(now, c.physBuf, r.physOff, false)
 
-	insert := func(entries []tree.Entry) {
-		for _, e := range entries {
-			if e.Addr == target {
-				found = true
-				continue
-			}
-			r.fstash.Insert(e)
-		}
-	}
-	insert(r.tr.ReadPath(leaf))
+	c.readBuf = r.tr.ReadPath(leaf, c.readBuf[:0])
+	var top stash.TopStore // keep a nil *TopCache a nil interface
 	if r.top != nil {
-		insert(r.top.ReadPath(leaf))
+		top = r.top
+		c.readBuf = r.top.ReadPath(leaf, c.readBuf)
 	}
-	for l := r.o.Levels - 1; l >= r.o.TopLevels; l-- {
-		take := r.fstash.TakeForBucket(leaf, l, r.o.Levels, r.o.Z[l], nil)
-		r.tr.FillBucket(l, leaf, take)
-	}
-	if r.top != nil {
-		for l := r.o.TopLevels - 1; l >= 0; l-- {
-			take := r.fstash.TakeForBucket(leaf, l, r.o.Levels, r.o.Z[l], nil)
-			for _, e := range take {
-				if !r.top.Fill(l, leaf, e) {
-					r.fstash.Insert(e)
-				}
-			}
+	for _, e := range c.readBuf {
+		if e.Addr == target {
+			found = true
+			continue
 		}
+		r.fstash.Insert(e)
 	}
+	// Write phase: the same single-pass eviction as the main tree, reusing
+	// the controller's scratch (the two trees never evict concurrently).
+	c.evictBuf = evictOntoPath(r.fstash, r.tr, top, r.o.Z, r.o.TopLevels,
+		r.o.Levels, leaf, c.evictList, c.evictBuf, nil)
 
 	// As in the main tree, the write phase is posted to DRAM.
-	c.accBuf = c.accBuf[:0]
-	for _, a := range c.physBuf {
-		c.accBuf = append(c.accBuf, dram.Access{Addr: a + r.physOff, Write: true})
-	}
-	c.mem.PostWrites(readDone, c.accBuf)
+	c.mem.PostWritePath(readDone, c.physBuf, r.physOff)
 	c.st.Paths.Add(ptype, len(c.physBuf), len(c.physBuf))
 	r.SmallPaths++
 	return found, readDone + c.o.OnChipLatency

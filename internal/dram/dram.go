@@ -58,10 +58,17 @@ type channel struct {
 	freeAt uint64 // CPU cycle when the channel data bus becomes idle
 }
 
+// timing caches the DDR parameters pre-converted to CPU cycles, so the
+// per-access service loop does no multiplication.
+type timing struct {
+	burst, cas, rcd, pre, wr uint64
+}
+
 // Model is the DRAM timing simulator. All externally visible times are CPU
 // cycles; the model converts internally using CPUCyclesPerDRAMCycle.
 type Model struct {
 	cfg       config.DRAM
+	t         timing
 	channels  []channel
 	rowBlocks uint64
 	stats     Stats
@@ -73,8 +80,16 @@ func New(cfg config.DRAM) *Model {
 	if cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 || cfg.RowBytes < config.BlockSize {
 		panic(fmt.Sprintf("dram: invalid geometry %+v", cfg))
 	}
+	cpd := uint64(cfg.CPUCyclesPerDRAMCycle)
 	m := &Model{
-		cfg:       cfg,
+		cfg: cfg,
+		t: timing{
+			burst: uint64(cfg.TBurst) * cpd,
+			cas:   uint64(cfg.TCAS) * cpd,
+			rcd:   uint64(cfg.TRCD) * cpd,
+			pre:   uint64(cfg.TRP) * cpd,
+			wr:    uint64(cfg.TWR) * cpd,
+		},
 		channels:  make([]channel, cfg.Channels),
 		rowBlocks: uint64(cfg.RowBytes / config.BlockSize),
 	}
@@ -118,66 +133,84 @@ func (m *Model) ServiceBatch(now uint64, accs []Access) uint64 {
 	if len(accs) == 0 {
 		return now
 	}
-	cpd := uint64(m.cfg.CPUCyclesPerDRAMCycle)
-	burst := uint64(m.cfg.TBurst) * cpd
-	cas := uint64(m.cfg.TCAS) * cpd
-	rcd := uint64(m.cfg.TRCD) * cpd
-	pre := uint64(m.cfg.TRP) * cpd
-	wr := uint64(m.cfg.TWR) * cpd
-
 	done := now
 	for i := range accs {
-		a := accs[i]
-		chIdx, bkIdx, row := m.decompose(a.Addr)
-		ch := &m.channels[chIdx]
-		b := &ch.banks[bkIdx]
-
-		if b.openRow == row {
-			m.stats.RowHits++
-		} else {
-			m.stats.RowMisses++
-			// The controller knows a path's full address list when it
-			// issues, so the MC opens rows ahead of the data transfers:
-			// precharge+activate chains from when the bank last moved
-			// data, not from the batch start. In steady state activation
-			// latency hides behind the previous path's bursts; only the
-			// per-block bus occupancy remains — the quantity IR-Alloc cuts.
-			start := b.lastData
-			if b.openRow != noRow {
-				start += pre
-				if b.lastWrite {
-					start += wr
-				}
-			}
-			b.avail = start + rcd + cas
-			b.openRow = row
-		}
-		// Data for this access can appear no earlier than the row being
-		// open (b.avail) and no earlier than a column command issued now;
-		// consecutive row hits pipeline and become bus-limited.
-		dataReady := b.avail
-		if min := now + cas; dataReady < min {
-			dataReady = min
-		}
-		busStart := dataReady
-		if busStart < ch.freeAt {
-			busStart = ch.freeAt
-		}
-		finish := busStart + burst
-		ch.freeAt = finish
-		b.lastData = finish
-		b.lastWrite = a.Write
-		m.stats.BusyCPUCycles += burst
-		if a.Write {
-			m.stats.Writes++
-		} else {
-			m.stats.Reads++
-		}
-		if finish > done {
+		if finish := m.serviceOne(now, accs[i].Addr, accs[i].Write); finish > done {
 			done = finish
 		}
 	}
 	return done
+}
+
+// ServicePath services one path phase given the physical block addresses
+// directly — the zero-copy twin of ServiceBatch for the controller hot path,
+// which holds the path as a []uint64 (tree.Layout.PathPhys) and would
+// otherwise rebuild an []Access per phase. Every address is offset by off
+// (the tree's physical base; 0 for the main tree) and serviced in the given
+// direction. Timing, statistics and channel-state evolution are identical
+// to ServiceBatch on the equivalent []Access.
+func (m *Model) ServicePath(now uint64, phys []uint64, off uint64, write bool) uint64 {
+	if len(phys) == 0 {
+		return now
+	}
+	done := now
+	for _, a := range phys {
+		if finish := m.serviceOne(now, a+off, write); finish > done {
+			done = finish
+		}
+	}
+	return done
+}
+
+// serviceOne charges one block transfer issued at now and returns when its
+// data beats finish on the channel bus.
+func (m *Model) serviceOne(now uint64, addr uint64, write bool) uint64 {
+	chIdx, bkIdx, row := m.decompose(addr)
+	ch := &m.channels[chIdx]
+	b := &ch.banks[bkIdx]
+
+	if b.openRow == row {
+		m.stats.RowHits++
+	} else {
+		m.stats.RowMisses++
+		// The controller knows a path's full address list when it
+		// issues, so the MC opens rows ahead of the data transfers:
+		// precharge+activate chains from when the bank last moved
+		// data, not from the batch start. In steady state activation
+		// latency hides behind the previous path's bursts; only the
+		// per-block bus occupancy remains — the quantity IR-Alloc cuts.
+		start := b.lastData
+		if b.openRow != noRow {
+			start += m.t.pre
+			if b.lastWrite {
+				start += m.t.wr
+			}
+		}
+		b.avail = start + m.t.rcd + m.t.cas
+		b.openRow = row
+	}
+	// Data for this access can appear no earlier than the row being
+	// open (b.avail) and no earlier than a column command issued now;
+	// consecutive row hits pipeline and become bus-limited.
+	dataReady := b.avail
+	if min := now + m.t.cas; dataReady < min {
+		dataReady = min
+	}
+	busStart := dataReady
+	if busStart < ch.freeAt {
+		busStart = ch.freeAt
+	}
+	finish := busStart + m.t.burst
+	ch.freeAt = finish
+	b.lastData = finish
+	b.lastWrite = write
+	m.stats.BusyCPUCycles += m.t.burst
+	if write {
+		m.stats.Writes++
+	} else {
+		m.stats.Reads++
+	}
+	return finish
 }
 
 // PostWrites queues a write batch the way an FR-FCFS controller's write
@@ -190,23 +223,44 @@ func (m *Model) PostWrites(now uint64, accs []Access) uint64 {
 	if len(accs) == 0 {
 		return now
 	}
-	burst := uint64(m.cfg.TBurst) * uint64(m.cfg.CPUCyclesPerDRAMCycle)
 	done := now
 	for i := range accs {
-		ch := &m.channels[int(accs[i].Addr%uint64(m.cfg.Channels))]
-		start := ch.freeAt
-		if start < now {
-			start = now
-		}
-		ch.freeAt = start + burst
-		m.stats.BusyCPUCycles += burst
-		m.stats.Writes++
-		m.stats.RowHits++ // write phases target the rows the read opened
-		if ch.freeAt > done {
-			done = ch.freeAt
+		if freeAt := m.postOne(now, accs[i].Addr); freeAt > done {
+			done = freeAt
 		}
 	}
 	return done
+}
+
+// PostWritePath posts one path-sized write phase given the physical block
+// addresses directly (offset by off), the zero-copy twin of PostWrites —
+// same drain semantics, no []Access rebuild.
+func (m *Model) PostWritePath(now uint64, phys []uint64, off uint64) uint64 {
+	if len(phys) == 0 {
+		return now
+	}
+	done := now
+	for _, a := range phys {
+		if freeAt := m.postOne(now, a+off); freeAt > done {
+			done = freeAt
+		}
+	}
+	return done
+}
+
+// postOne drains one buffered write onto addr's channel bus and returns when
+// that channel goes idle.
+func (m *Model) postOne(now uint64, addr uint64) uint64 {
+	ch := &m.channels[int(addr%uint64(m.cfg.Channels))]
+	start := ch.freeAt
+	if start < now {
+		start = now
+	}
+	ch.freeAt = start + m.t.burst
+	m.stats.BusyCPUCycles += m.t.burst
+	m.stats.Writes++
+	m.stats.RowHits++ // write phases target the rows the read opened
+	return ch.freeAt
 }
 
 // FreeAt returns the cycle at which every channel is idle, i.e. when all

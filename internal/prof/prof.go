@@ -1,0 +1,53 @@
+// Package prof wires the standard pprof profile outputs into the
+// command-line tools, so hot-path work on the simulator can be measured
+// with `go tool pprof` instead of guessed at (see README "Profiling").
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuFile when non-empty. The returned stop
+// function flushes the CPU profile and, when memFile is non-empty, writes a
+// heap profile taken after a final GC (so it shows live retention, and —
+// via the alloc_space sample index — cumulative allocation sites).
+//
+// stop must run on every exit path; commands structure main as
+// `os.Exit(run())` with `defer stop()` inside run, because a bare os.Exit
+// would discard the buffered CPU profile.
+func Start(cpuFile, memFile string) (stop func(), err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		f, err := os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		cpu = f
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if memFile == "" {
+			return
+		}
+		f, err := os.Create(memFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the live heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+		}
+	}, nil
+}

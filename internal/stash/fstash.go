@@ -23,9 +23,12 @@ type FStash struct {
 	HighWater int
 }
 
-// NewFStash returns an empty stash provisioned for capacity blocks.
+// NewFStash returns an empty stash provisioned for capacity blocks. The
+// index is pre-sized for that capacity so steady-state inserts never grow
+// the map (Path ORAM lets occupancy exceed capacity transiently; the map
+// grows then, and only then).
 func NewFStash(capacity int) *FStash {
-	return &FStash{capacity: capacity, index: make(map[block.ID]int)}
+	return &FStash{capacity: capacity, index: make(map[block.ID]int, capacity)}
 }
 
 // Capacity returns the provisioned size.
@@ -67,6 +70,15 @@ func (s *FStash) Remove(addr block.ID) bool {
 	if !ok {
 		return false
 	}
+	s.removeAt(i)
+	return true
+}
+
+// removeAt deletes the entry in storage slot i by swap-with-last. Callers
+// that already hold the slot (the scan loops below) use it directly instead
+// of paying a second index lookup through Remove.
+func (s *FStash) removeAt(i int) {
+	addr := s.items[i].Addr
 	last := len(s.items) - 1
 	if i != last {
 		s.items[i] = s.items[last]
@@ -74,7 +86,6 @@ func (s *FStash) Remove(addr block.ID) bool {
 	}
 	s.items = s.items[:last]
 	delete(s.index, addr)
-	return true
 }
 
 // SetLeaf updates the leaf of a stashed block (remap while stashed); it
@@ -95,26 +106,68 @@ func (s *FStash) Each(fn func(tree.Entry)) {
 	}
 }
 
+// EachUntil calls fn for stashed entries in storage order until fn returns
+// false. It lets scans that only need a prefix (invariant checks hunting the
+// first violation) stop early instead of visiting every entry. fn must not
+// mutate the stash.
+func (s *FStash) EachUntil(fn func(tree.Entry) bool) {
+	for _, e := range s.items {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
 // TakeForBucket removes and returns up to max blocks whose leaves allow
 // placement in the bucket that the path of leaf crosses at level — the
-// write-phase selection loop. accept lets the caller veto candidates (the
-// IR-Stash set-conflict rule); pass nil to accept all.
+// per-level write-phase selection scan (retained as the reference eviction;
+// the controller hot path uses TakeForPath). accept lets the caller veto
+// candidates (the IR-Stash set-conflict rule); pass nil to accept all.
+// Selected entries are appended to dst (may be nil) and returned.
 func (s *FStash) TakeForBucket(leaf block.Leaf, level, levels, max int,
-	accept func(tree.Entry) bool) []tree.Entry {
+	accept func(tree.Entry) bool, dst []tree.Entry) []tree.Entry {
+	out := dst
 	if max <= 0 {
-		return nil
+		return out
 	}
-	var out []tree.Entry
-	for i := 0; i < len(s.items) && len(out) < max; {
+	taken := 0
+	for i := 0; i < len(s.items) && taken < max; {
 		e := s.items[i]
 		if tree.SameSubtree(leaf, e.Leaf, level, levels) && (accept == nil || accept(e)) {
 			out = append(out, e)
-			s.Remove(e.Addr) // swaps; do not advance i
+			taken++
+			s.removeAt(i) // swaps the last entry into slot i; do not advance
 			continue
 		}
 		i++
 	}
 	return out
+}
+
+// TakeForPath is the single-pass half of the deepest-first eviction
+// (Stefanov et al.): one walk over the stash removes every entry placeable
+// on the path of leaf at level lowLevel or deeper and appends it to
+// perLevel[d], where d is the entry's deepest placeable level
+// (tree.DeepestLevel). The caller then fills buckets deepest-first, letting
+// unplaced entries spill toward the root — O(stash + path) in total, versus
+// the O(levels × stash) of running TakeForBucket once per level.
+//
+// perLevel must have at least levels slices; slices are appended to, so the
+// caller resets and reuses them across paths to stay allocation-free.
+// Entries land in the deterministic order the removal scan visits them
+// (storage order with swap-with-last dynamics), which keeps repeated runs
+// byte-identical.
+func (s *FStash) TakeForPath(leaf block.Leaf, lowLevel, levels int, perLevel [][]tree.Entry) {
+	for i := 0; i < len(s.items); {
+		e := s.items[i]
+		d := tree.DeepestLevel(leaf, e.Leaf, levels)
+		if d < lowLevel {
+			i++
+			continue
+		}
+		perLevel[d] = append(perLevel[d], e)
+		s.removeAt(i) // swaps the last entry into slot i; do not advance
+	}
 }
 
 func (s *FStash) String() string {

@@ -121,8 +121,8 @@ func (s *IRStash) LookupByAddr(addr block.ID) (block.Leaf, bool) {
 
 // ReadPath implements TopStore: it drains the top buckets along leaf via
 // the TT pointers.
-func (s *IRStash) ReadPath(leaf block.Leaf) []tree.Entry {
-	var out []tree.Entry
+func (s *IRStash) ReadPath(leaf block.Leaf, dst []tree.Entry) []tree.Entry {
+	out := dst
 	for l := 0; l < s.topLevels; l++ {
 		n := s.node(l, leaf)
 		for i, ptr := range s.tt[n] {

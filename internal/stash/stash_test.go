@@ -73,7 +73,7 @@ func TestFStashTakeForBucket(t *testing.T) {
 	s.Insert(tree.Entry{Addr: 2, Leaf: 1})
 	s.Insert(tree.Entry{Addr: 3, Leaf: 15}) // right half
 	// Level 1 bucket of leaf 0 accepts leaves 0..7 only.
-	got := s.TakeForBucket(0, 1, levels, 4, nil)
+	got := s.TakeForBucket(0, 1, levels, 4, nil, nil)
 	if len(got) != 2 {
 		t.Fatalf("took %d blocks, want 2", len(got))
 	}
@@ -91,11 +91,11 @@ func TestFStashTakeForBucketRespectsMaxAndVeto(t *testing.T) {
 	for i := 0; i < 6; i++ {
 		s.Insert(tree.Entry{Addr: block.ID(i), Leaf: 0})
 	}
-	got := s.TakeForBucket(0, 0, levels, 2, nil)
+	got := s.TakeForBucket(0, 0, levels, 2, nil, nil)
 	if len(got) != 2 {
 		t.Fatalf("max ignored: took %d", len(got))
 	}
-	veto := s.TakeForBucket(0, 0, levels, 10, func(e tree.Entry) bool { return e.Addr%2 == 0 })
+	veto := s.TakeForBucket(0, 0, levels, 10, func(e tree.Entry) bool { return e.Addr%2 == 0 }, nil)
 	for _, e := range veto {
 		if e.Addr%2 != 0 {
 			t.Errorf("veto ignored for %v", e.Addr)
@@ -153,7 +153,7 @@ func TestTopStoreFillReadRoundTrip(t *testing.T) {
 		if ts.Len() != 2 {
 			t.Fatalf("%s: Len = %d", name, ts.Len())
 		}
-		got := ts.ReadPath(leaf)
+		got := ts.ReadPath(leaf, nil)
 		if len(got) != 2 {
 			t.Fatalf("%s: ReadPath returned %d", name, len(got))
 		}
@@ -313,7 +313,7 @@ func TestTopStoreConservation(t *testing.T) {
 						inStore++
 					}
 				} else {
-					inStore -= len(ts.ReadPath(leaf))
+					inStore -= len(ts.ReadPath(leaf, nil))
 				}
 				if ts.Len() != inStore {
 					return false

@@ -12,9 +12,10 @@ import (
 // offers the block-address index (AddrIndex) that lets the LLC discover
 // tree-top hits without a PosMap lookup.
 type TopStore interface {
-	// ReadPath removes and returns every real block in the top buckets on
-	// the path of leaf (the on-chip segment of a path read).
-	ReadPath(leaf block.Leaf) []tree.Entry
+	// ReadPath removes every real block in the top buckets on the path of
+	// leaf (the on-chip segment of a path read), appending to dst — which
+	// may be nil, or a buffer reused across paths to avoid allocation.
+	ReadPath(leaf block.Leaf, dst []tree.Entry) []tree.Entry
 	// Fill places e into the bucket the path of leaf crosses at level; it
 	// returns false when the design cannot accept the block (bucket full,
 	// or an S-Stash set conflict) and the caller must keep it stashed.
@@ -73,8 +74,8 @@ func (t *TopCache) node(level int, leaf block.Leaf) int {
 }
 
 // ReadPath implements TopStore.
-func (t *TopCache) ReadPath(leaf block.Leaf) []tree.Entry {
-	var out []tree.Entry
+func (t *TopCache) ReadPath(leaf block.Leaf, dst []tree.Entry) []tree.Entry {
+	out := dst
 	for l := 0; l < t.topLevels; l++ {
 		n := t.node(l, leaf)
 		out = append(out, t.nodes[n]...)

@@ -1,0 +1,44 @@
+package tree
+
+import (
+	"testing"
+
+	"iroram/internal/block"
+	"iroram/internal/rng"
+)
+
+// TestDeepestLevelMatchesSameSubtree pins DeepestLevel's defining property:
+// d = DeepestLevel(a, b, levels) is exactly the deepest level l for which
+// SameSubtree(a, b, l, levels) holds — the paths of a and b share buckets at
+// levels [0, d] and diverge below.
+func TestDeepestLevelMatchesSameSubtree(t *testing.T) {
+	r := rng.New(5)
+	for _, levels := range []int{2, 3, 5, 14, 20} {
+		leaves := uint64(1) << uint(levels-1)
+		for trial := 0; trial < 2000; trial++ {
+			a := block.Leaf(r.Uint64n(leaves))
+			b := block.Leaf(r.Uint64n(leaves))
+			d := DeepestLevel(a, b, levels)
+			if d < 0 || d >= levels {
+				t.Fatalf("DeepestLevel(%d, %d, %d) = %d out of range", a, b, levels, d)
+			}
+			for l := 0; l < levels; l++ {
+				if got, want := SameSubtree(a, b, l, levels), l <= d; got != want {
+					t.Fatalf("levels=%d a=%d b=%d: SameSubtree at level %d = %v, but DeepestLevel = %d",
+						levels, a, b, l, got, d)
+				}
+			}
+		}
+	}
+}
+
+// TestDeepestLevelIdentical pins the equal-leaf case: a block whose leaf is
+// the accessed path can go all the way to the leaf bucket.
+func TestDeepestLevelIdentical(t *testing.T) {
+	for _, levels := range []int{1, 2, 14} {
+		leaf := block.Leaf((uint64(1) << uint(levels-1)) - 1)
+		if got := DeepestLevel(leaf, leaf, levels); got != levels-1 {
+			t.Fatalf("DeepestLevel(%d, %d, %d) = %d, want %d", leaf, leaf, levels, got, levels-1)
+		}
+	}
+}

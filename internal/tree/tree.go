@@ -10,6 +10,7 @@ package tree
 
 import (
 	"fmt"
+	"math/bits"
 
 	"iroram/internal/block"
 	"iroram/internal/config"
@@ -90,6 +91,20 @@ func SameSubtree(a, b block.Leaf, level, levels int) bool {
 	return uint64(a)>>shift == uint64(b)>>shift
 }
 
+// DeepestLevel returns the deepest level at which a block mapped to b may be
+// placed on the path of a: the level of the two paths' lowest common bucket.
+// It is the largest level for which SameSubtree(a, b, level, levels) holds,
+// computed in O(1) from the position of the highest differing leaf bit
+// (leaf-XOR + leading-zero count) instead of probing levels one by one —
+// the primitive behind the single-pass stash eviction.
+func DeepestLevel(a, b block.Leaf, levels int) int {
+	x := uint64(a) ^ uint64(b)
+	// bits.Len64(x) == 64 - bits.LeadingZeros64(x) is the index (1-based) of
+	// the highest differing bit; the paths share exactly levels-1-Len64(x)
+	// edges below the root, i.e. they diverge at that depth.
+	return levels - 1 - (64 - bits.LeadingZeros64(x))
+}
+
 // bucketSlots returns the slot range of bucket (level, idx).
 func (t *Tree) bucketSlots(level int, idx uint64) (lo, hi uint64) {
 	z := uint64(t.z[level])
@@ -97,11 +112,12 @@ func (t *Tree) bucketSlots(level int, idx uint64) (lo, hi uint64) {
 	return lo, lo + z
 }
 
-// ReadPath removes and returns every real block on the path of leaf
-// (memory-resident levels only), leaving those buckets empty — the read
-// phase of a path access. The result is ordered root-to-leaf.
-func (t *Tree) ReadPath(leaf block.Leaf) []Entry {
-	var out []Entry
+// ReadPath removes every real block on the path of leaf (memory-resident
+// levels only), leaving those buckets empty — the read phase of a path
+// access. The blocks are appended to dst (pass nil, or a reused buffer to
+// keep the hot path allocation-free) and returned root-to-leaf.
+func (t *Tree) ReadPath(leaf block.Leaf, dst []Entry) []Entry {
+	out := dst
 	for l := t.minLevel; l < t.levels; l++ {
 		lo, hi := t.bucketSlots(l, t.BucketIndex(l, leaf))
 		for s := lo; s < hi; s++ {

@@ -20,7 +20,7 @@ func TestNewEmpty(t *testing.T) {
 	if tr.Occupied() != 0 {
 		t.Fatalf("new tree occupied %d", tr.Occupied())
 	}
-	if got := tr.ReadPath(0); len(got) != 0 {
+	if got := tr.ReadPath(0, nil); len(got) != 0 {
 		t.Fatalf("empty tree path returned %d blocks", len(got))
 	}
 }
@@ -49,14 +49,14 @@ func TestReadPathRemovesBlocks(t *testing.T) {
 	tr := New(o, o.TopLevels)
 	tr.Place(Entry{Addr: 1, Leaf: 9})
 	tr.Place(Entry{Addr: 2, Leaf: 9})
-	got := tr.ReadPath(9)
+	got := tr.ReadPath(9, nil)
 	if len(got) != 2 {
 		t.Fatalf("read %d blocks, want 2", len(got))
 	}
 	if tr.Occupied() != 0 {
 		t.Errorf("occupied %d after draining path", tr.Occupied())
 	}
-	if got2 := tr.ReadPath(9); len(got2) != 0 {
+	if got2 := tr.ReadPath(9, nil); len(got2) != 0 {
 		t.Error("second read should find nothing")
 	}
 }
@@ -71,7 +71,7 @@ func TestReadPathOnlyTouchesOwnPath(t *testing.T) {
 	b := block.Leaf(leaves - 1)
 	tr.Place(Entry{Addr: 1, Leaf: a})
 	tr.Place(Entry{Addr: 2, Leaf: b})
-	got := tr.ReadPath(a)
+	got := tr.ReadPath(a, nil)
 	if len(got) != 1 || got[0].Addr != 1 {
 		t.Fatalf("ReadPath(a) = %v", got)
 	}
@@ -90,7 +90,7 @@ func TestFillBucketRoundTrip(t *testing.T) {
 	if tr.OccupiedAt(level) != 2 {
 		t.Fatalf("occupied at leaf level = %d", tr.OccupiedAt(level))
 	}
-	got := tr.ReadPath(leaf)
+	got := tr.ReadPath(leaf, nil)
 	if len(got) != 2 {
 		t.Fatalf("read back %d blocks", len(got))
 	}
@@ -149,7 +149,7 @@ func TestPathInvariant(t *testing.T) {
 	}
 	for probe := 0; probe < 100; probe++ {
 		leaf := block.Leaf(r.Uint64n(leaves))
-		got := tr.ReadPath(leaf)
+		got := tr.ReadPath(leaf, nil)
 		for _, e := range got {
 			onPath := false
 			for l := o.TopLevels; l < o.Levels; l++ {
