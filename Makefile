@@ -5,15 +5,19 @@
 #   make test       unit + experiment tests (tier-1)
 #   make race       full tree under the race detector (the parallel
 #                   experiment engine must stay race-clean)
-#   make alloccheck gate: the steady-state path access must not allocate
+#   make alloccheck gate: the steady-state hot paths (path access, evict,
+#                   LLC access, DWB scan) must not allocate
 #   make check      all of the above — the documented verification flow
 #   make bench      benchmark harness (one benchmark per paper figure)
-#   make benchjson  performance-trajectory snapshot (BENCH_pr3.json)
+#   make benchjson  performance-trajectory snapshot (BENCH_pr4.json); fails
+#                   if the quick fig10 gmeans drift from BENCH_pr3.json
+#   make benchcmp   compare BENCH_pr4.json against BENCH_pr3.json: fails on
+#                   >10% ns/op regression or any metric drift
 #   make profile    CPU+heap profile of a quick fig10 regeneration
 
 GO ?= go
 
-.PHONY: build vet test race alloccheck check bench benchjson profile
+.PHONY: build vet test race alloccheck check bench benchjson benchcmp profile
 
 build:
 	$(GO) build ./...
@@ -36,7 +40,10 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 benchjson:
-	$(GO) run ./cmd/benchjson -out BENCH_pr3.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr4.json -baseline BENCH_pr3.json
+
+benchcmp:
+	$(GO) run ./cmd/benchjson -diff BENCH_pr4.json -against BENCH_pr3.json
 
 profile:
 	$(GO) run ./cmd/experiments -fig fig10 -quick -progress=false \

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"iroram/internal/block"
+	"iroram/internal/cache"
 	"iroram/internal/config"
 	"iroram/internal/core"
 	"iroram/internal/dram"
@@ -239,6 +240,21 @@ func BenchmarkPathAccess(b *testing.B) {
 		now = is.ReadBlock(now, block.ID(r.Uint64n(nd)))
 	}
 }
+
+// BenchmarkEvict measures the single-pass write phase (path read into the
+// stash + deepest-first eviction) without DRAM timing — the structures the
+// PR 4 open-addressed stash index serves. Body in internal/core so
+// cmd/benchjson snapshots the same code.
+func BenchmarkEvict(b *testing.B) { core.EvictBenchmark(b) }
+
+// BenchmarkLLCAccess measures one LLC access-or-insert with LRU tracking
+// enabled (the IR-DWB configuration: mask set indexing + summary refresh).
+func BenchmarkLLCAccess(b *testing.B) { cache.AccessBenchmark(b) }
+
+// BenchmarkDWBScan measures the Ptr-register candidate search with one
+// dirty-LRU set among 1024 — the sweep the summary bitmaps collapse to a
+// word-wise scan.
+func BenchmarkDWBScan(b *testing.B) { cache.ScanBenchmark(b) }
 
 // BenchmarkControllerInit measures tree construction + initial placement.
 func BenchmarkControllerInit(b *testing.B) {

@@ -6,9 +6,13 @@
 //
 // Usage:
 //
-//	benchjson -out BENCH_pr3.json   # write the snapshot (make benchjson)
-//	benchjson -check                # gate: fail if the steady-state path
-//	                                # access allocates (make check)
+//	benchjson -out BENCH_pr4.json          # write the snapshot (make benchjson);
+//	                                       # -baseline pins the fig10 gmeans to the
+//	                                       # previous PR's to machine precision
+//	benchjson -check                       # gate: fail if any zero-alloc hot-path
+//	                                       # benchmark allocates (make alloccheck)
+//	benchjson -diff NEW -against OLD       # gate: fail on >10% ns/op regression or
+//	                                       # any metric drift (make benchcmp)
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 
 	"iroram"
 	"iroram/internal/block"
+	"iroram/internal/cache"
 	"iroram/internal/config"
 	"iroram/internal/core"
 	"iroram/internal/dram"
@@ -41,37 +46,69 @@ type report struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
+// zeroAllocBenchmarks are the steady-state hot paths gated at 0 allocs/op
+// by `make alloccheck`: the end-to-end path access plus the PR 4
+// data-structure microbenchmarks (eviction round-trip, LLC access with LRU
+// tracking, DWB candidate scan).
+var zeroAllocBenchmarks = []struct {
+	name string
+	fn   func(*testing.B)
+}{
+	{"PathAccess", benchPathAccess},
+	{"Evict", core.EvictBenchmark},
+	{"LLCAccess", cache.AccessBenchmark},
+	{"DWBScan", cache.ScanBenchmark},
+}
+
 func main() {
 	os.Exit(run())
 }
 
 func run() int {
 	var (
-		out   = flag.String("out", "BENCH_pr3.json", "output file")
+		out   = flag.String("out", "BENCH_pr4.json", "output file")
 		check = flag.Bool("check", false,
-			"only verify that BenchmarkPathAccess performs 0 allocs/op; no file is written")
+			"only verify that the hot-path benchmarks perform 0 allocs/op; no file is written")
+		baseline = flag.String("baseline", "",
+			"previous PR's snapshot; the deterministic metrics must match it exactly")
+		diff = flag.String("diff", "",
+			"snapshot to compare (with -against); fails on >10% ns/op regression or metric drift")
+		against = flag.String("against", "",
+			"baseline snapshot for -diff")
 	)
 	flag.Parse()
 
-	pathAccess := testing.Benchmark(benchPathAccess)
+	if *diff != "" {
+		return runDiff(*diff, *against)
+	}
+
 	if *check {
-		if allocs := pathAccess.AllocsPerOp(); allocs != 0 {
-			fmt.Fprintf(os.Stderr,
-				"benchjson: steady-state path access allocates (%d allocs/op, %d B/op); the hot path must stay allocation-free\n",
-				allocs, pathAccess.AllocedBytesPerOp())
+		ok := true
+		for _, bm := range zeroAllocBenchmarks {
+			res := testing.Benchmark(bm.fn)
+			if allocs := res.AllocsPerOp(); allocs != 0 {
+				fmt.Fprintf(os.Stderr,
+					"benchjson: %s allocates (%d allocs/op, %d B/op); the hot path must stay allocation-free\n",
+					bm.name, allocs, res.AllocedBytesPerOp())
+				ok = false
+			}
+		}
+		if !ok {
 			return 1
 		}
-		fmt.Println("benchjson: PathAccess 0 allocs/op ok")
+		fmt.Println("benchjson: PathAccess, Evict, LLCAccess, DWBScan all 0 allocs/op ok")
 		return 0
 	}
 
 	rep := report{
 		Benchmarks: map[string]benchEntry{
-			"PathAccess":   toEntry(pathAccess),
 			"ServiceBatch": toEntry(testing.Benchmark(benchServiceBatch)),
 			"ServicePath":  toEntry(testing.Benchmark(benchServicePath)),
 		},
 		Metrics: map[string]float64{},
+	}
+	for _, bm := range zeroAllocBenchmarks {
+		rep.Benchmarks[bm.name] = toEntry(testing.Benchmark(bm.fn))
 	}
 
 	opts := iroram.QuickExperiments()
@@ -86,6 +123,25 @@ func run() int {
 		}
 	}
 
+	if *baseline != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline: %v\n", err)
+			return 1
+		}
+		// The PR 4 contract: pure data-structure swaps, so every
+		// deterministic metric must match the previous PR bit for bit.
+		for name, want := range base.Metrics {
+			if got, ok := rep.Metrics[name]; !ok || got != want {
+				fmt.Fprintf(os.Stderr,
+					"benchjson: metric %s = %v, baseline %s has %v — deterministic output drifted\n",
+					name, rep.Metrics[name], *baseline, want)
+				return 1
+			}
+		}
+		fmt.Printf("benchjson: %d metrics match %s exactly\n", len(base.Metrics), *baseline)
+	}
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
@@ -96,9 +152,73 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 1
 	}
+	pa := rep.Benchmarks["PathAccess"]
 	fmt.Printf("benchjson: wrote %s (PathAccess %.0f ns/op, %d allocs/op)\n",
-		*out, float64(pathAccess.NsPerOp()), pathAccess.AllocsPerOp())
+		*out, pa.NsPerOp, pa.AllocsPerOp)
 	return 0
+}
+
+// runDiff is the `make benchcmp` gate: metrics must match exactly
+// (deterministic outputs), ns/op of shared benchmarks may not regress more
+// than 10%. Benchmarks present on only one side are reported but not fatal
+// (PRs add benchmarks).
+func runDiff(newPath, oldPath string) int {
+	if oldPath == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -diff requires -against")
+		return 1
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	ok := true
+	for name, want := range oldRep.Metrics {
+		got, present := newRep.Metrics[name]
+		if !present || got != want {
+			fmt.Fprintf(os.Stderr, "benchjson: metric drift: %s = %v, was %v\n",
+				name, got, want)
+			ok = false
+		}
+	}
+	const maxRegression = 1.10
+	for name, old := range oldRep.Benchmarks {
+		cur, present := newRep.Benchmarks[name]
+		if !present {
+			fmt.Printf("benchjson: %s: only in %s (skipped)\n", name, oldPath)
+			continue
+		}
+		ratio := cur.NsPerOp / old.NsPerOp
+		fmt.Printf("benchjson: %-14s %9.1f -> %9.1f ns/op (%.2fx)\n",
+			name, old.NsPerOp, cur.NsPerOp, ratio)
+		if ratio > maxRegression {
+			fmt.Fprintf(os.Stderr, "benchjson: %s regressed %.0f%% (limit 10%%)\n",
+				name, (ratio-1)*100)
+			ok = false
+		}
+	}
+	if !ok {
+		return 1
+	}
+	fmt.Printf("benchjson: %s vs %s ok\n", newPath, oldPath)
+	return 0
+}
+
+func loadReport(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
 }
 
 func toEntry(r testing.BenchmarkResult) benchEntry {

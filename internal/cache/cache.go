@@ -28,17 +28,38 @@ type Cache struct {
 	ways  int
 	lines []way // sets*ways, row-major by set
 	clock uint64
+	// mask is sets-1 when sets is a power of two (validated at New), so
+	// setOf is a single AND on the hot path; 0 selects the modulo fallback
+	// for exotic geometries.
+	mask uint64
+	// occupied / dirtyLines are maintained incrementally by every mutator,
+	// making Occupancy and DirtyCount O(1) instead of full-line scans.
+	occupied   int
+	dirtyLines int
+	// lruSummary / dirtySummary are per-set predicate bitmaps for the
+	// IR-DWB scanner: bit si of lruSummary is set iff set si is full (has
+	// an LRU victim candidate), bit si of dirtySummary iff additionally
+	// that LRU line is dirty. They are allocated lazily by
+	// EnableLRUTracking (scanner attach) and refreshed by every mutator,
+	// turning the scanner's O(sets) sweep into a word-wise bit scan.
+	lruSummary   []uint64
+	dirtySummary []uint64
 	// Stats
 	hits, misses, evictions, dirtyEvictions uint64
 }
 
 // New builds a cache with the given geometry. It panics on non-positive
-// geometry; callers validate configs up front.
+// geometry; callers validate configs up front. Power-of-two set counts
+// (every preset geometry) get mask-based set indexing.
 func New(sets, ways int) *Cache {
 	if sets <= 0 || ways <= 0 {
 		panic(fmt.Sprintf("cache: invalid geometry %dx%d", sets, ways))
 	}
-	return &Cache{sets: sets, ways: ways, lines: make([]way, sets*ways)}
+	c := &Cache{sets: sets, ways: ways, lines: make([]way, sets*ways)}
+	if sets&(sets-1) == 0 {
+		c.mask = uint64(sets - 1)
+	}
+	return c
 }
 
 // Sets returns the number of sets.
@@ -47,12 +68,17 @@ func (c *Cache) Sets() int { return c.sets }
 // Ways returns the associativity.
 func (c *Cache) Ways() int { return c.ways }
 
-func (c *Cache) setOf(addr uint64) int { return int(addr % uint64(c.sets)) }
+func (c *Cache) setOf(addr uint64) int {
+	if c.mask != 0 {
+		return int(addr & c.mask)
+	}
+	return int(addr % uint64(c.sets))
+}
 
 func (c *Cache) set(idx int) []way { return c.lines[idx*c.ways : (idx+1)*c.ways] }
 
-func (c *Cache) find(addr uint64) *way {
-	for s, i := c.set(c.setOf(addr)), 0; i < len(s); i++ {
+func (c *Cache) findIn(si int, addr uint64) *way {
+	for s, i := c.set(si), 0; i < len(s); i++ {
 		if s[i].valid && s[i].addr == addr {
 			return &s[i]
 		}
@@ -60,16 +86,72 @@ func (c *Cache) find(addr uint64) *way {
 	return nil
 }
 
+func (c *Cache) find(addr uint64) *way {
+	return c.findIn(c.setOf(addr), addr)
+}
+
+// EnableLRUTracking allocates and fills the per-set summary bitmaps the
+// DWB scanner consumes. Scanner constructors call it; plain caches (PLB,
+// L1, non-DWB LLCs) never pay the per-mutation refresh.
+func (c *Cache) EnableLRUTracking() {
+	if c.lruSummary != nil {
+		return
+	}
+	words := (c.sets + 63) / 64
+	c.lruSummary = make([]uint64, words)
+	c.dirtySummary = make([]uint64, words)
+	for si := 0; si < c.sets; si++ {
+		c.refreshSummary(si)
+	}
+}
+
+// refreshSummary recomputes set si's two summary bits after a mutation.
+// One O(ways) pass — over the same lines the mutation just touched — keeps
+// the bitmaps exact, which is what lets FindCandidate trust a set bit
+// without re-deriving the predicate.
+func (c *Cache) refreshSummary(si int) {
+	if c.lruSummary == nil {
+		return
+	}
+	s := c.set(si)
+	vi := 0
+	full := true
+	for i := range s {
+		if !s[i].valid {
+			full = false
+			break
+		}
+		if s[i].stamp < s[vi].stamp {
+			vi = i
+		}
+	}
+	w, bit := si>>6, uint64(1)<<uint(si&63)
+	if !full {
+		c.lruSummary[w] &^= bit
+		c.dirtySummary[w] &^= bit
+		return
+	}
+	c.lruSummary[w] |= bit
+	if s[vi].dirty {
+		c.dirtySummary[w] |= bit
+	} else {
+		c.dirtySummary[w] &^= bit
+	}
+}
+
 // Access looks up addr, updating recency and the dirty bit on a write hit.
 // It returns whether the line was present.
 func (c *Cache) Access(addr uint64, write bool) bool {
 	c.clock++
-	if w := c.find(addr); w != nil {
+	si := c.setOf(addr)
+	if w := c.findIn(si, addr); w != nil {
 		w.stamp = c.clock
-		if write {
+		if write && !w.dirty {
 			w.dirty = true
+			c.dirtyLines++
 		}
 		c.hits++
+		c.refreshSummary(si)
 		return true
 	}
 	c.misses++
@@ -91,14 +173,17 @@ func (c *Cache) IsDirty(addr uint64) bool {
 // just updates its state.
 func (c *Cache) Insert(addr uint64, dirty bool) (victim Line) {
 	c.clock++
-	if w := c.find(addr); w != nil {
+	si := c.setOf(addr)
+	if w := c.findIn(si, addr); w != nil {
 		w.stamp = c.clock
-		if dirty {
+		if dirty && !w.dirty {
 			w.dirty = true
+			c.dirtyLines++
 		}
+		c.refreshSummary(si)
 		return Line{}
 	}
-	s := c.set(c.setOf(addr))
+	s := c.set(si)
 	vi := 0
 	for i := 1; i < len(s); i++ {
 		if !s[i].valid {
@@ -120,17 +205,30 @@ func (c *Cache) Insert(addr uint64, dirty bool) (victim Line) {
 		c.evictions++
 		if s[vi].dirty {
 			c.dirtyEvictions++
+			c.dirtyLines--
 		}
+	} else {
+		c.occupied++
 	}
 	s[vi] = way{addr: addr, valid: true, dirty: dirty, stamp: c.clock}
+	if dirty {
+		c.dirtyLines++
+	}
+	c.refreshSummary(si)
 	return victim
 }
 
 // Invalidate drops addr if present and returns its previous state.
 func (c *Cache) Invalidate(addr uint64) (was Line) {
-	if w := c.find(addr); w != nil {
+	si := c.setOf(addr)
+	if w := c.findIn(si, addr); w != nil {
 		was = Line{Addr: w.addr, Valid: true, Dirty: w.dirty}
 		*w = way{}
+		c.occupied--
+		if was.Dirty {
+			c.dirtyLines--
+		}
+		c.refreshSummary(si)
 	}
 	return was
 }
@@ -138,8 +236,13 @@ func (c *Cache) Invalidate(addr uint64) (was Line) {
 // MarkDirty sets the dirty bit of a present line; it reports whether the
 // line was found.
 func (c *Cache) MarkDirty(addr uint64) bool {
-	if w := c.find(addr); w != nil {
-		w.dirty = true
+	si := c.setOf(addr)
+	if w := c.findIn(si, addr); w != nil {
+		if !w.dirty {
+			w.dirty = true
+			c.dirtyLines++
+			c.refreshSummary(si)
+		}
 		return true
 	}
 	return false
@@ -148,8 +251,13 @@ func (c *Cache) MarkDirty(addr uint64) bool {
 // MarkClean clears the dirty bit of a present line (IR-DWB's final step);
 // it reports whether the line was found.
 func (c *Cache) MarkClean(addr uint64) bool {
-	if w := c.find(addr); w != nil {
-		w.dirty = false
+	si := c.setOf(addr)
+	if w := c.findIn(si, addr); w != nil {
+		if w.dirty {
+			w.dirty = false
+			c.dirtyLines--
+			c.refreshSummary(si)
+		}
 		return true
 	}
 	return false
@@ -214,27 +322,13 @@ func (c *Cache) IsDirtyLRU(addr uint64) bool {
 	return w.addr == addr && w.dirty
 }
 
-// Occupancy returns the number of valid lines.
-func (c *Cache) Occupancy() int {
-	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid {
-			n++
-		}
-	}
-	return n
-}
+// Occupancy returns the number of valid lines. O(1): the count is
+// maintained by Insert and Invalidate.
+func (c *Cache) Occupancy() int { return c.occupied }
 
-// DirtyCount returns the number of dirty lines.
-func (c *Cache) DirtyCount() int {
-	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid && c.lines[i].dirty {
-			n++
-		}
-	}
-	return n
-}
+// DirtyCount returns the number of dirty lines. O(1): the count is
+// maintained by every mutator that flips a dirty bit.
+func (c *Cache) DirtyCount() int { return c.dirtyLines }
 
 // Stats are hit/miss/eviction counters.
 type Stats struct {

@@ -56,7 +56,7 @@ func (c *Controller) ServeOnChip(now uint64, j Job) (served bool, done uint64) {
 	// on-chip (the point of a shallower tree), so membership is known
 	// before any PosMap work; residents need only a small-tree path.
 	if c.rho != nil {
-		if _, ok := c.rho.member[a]; ok {
+		if _, ok := c.rho.member.Get(a); ok {
 			return false, 0
 		}
 	}
@@ -108,7 +108,7 @@ func (c *Controller) PathStep(now uint64, j Job) (completed bool, done uint64) {
 	// ρ small-tree data access: membership is on-chip metadata, no PosMap
 	// work needed (member blocks carry no main-tree leaf).
 	if c.rho != nil {
-		if _, ok := c.rho.member[a]; ok {
+		if _, ok := c.rho.member.Get(a); ok {
 			return true, c.rhoDataAccess(now, a, j.Write)
 		}
 	}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"testing"
+
+	"iroram/internal/block"
+	"iroram/internal/config"
+	"iroram/internal/dram"
+	"iroram/internal/rng"
+)
+
+// EvictBenchmark is the body of BenchmarkEvict. It lives in the package
+// (not a _test file) because the write phase it measures — evictOntoPath,
+// the stash classification plus bucket fills — is unexported, and
+// cmd/benchjson snapshots the same body programmatically via
+// testing.Benchmark; the root bench_test.go wraps it for `make bench`.
+//
+// One op is a full stash round-trip without DRAM timing: read a random
+// path's blocks into the stash, then drain them back with the single-pass
+// deepest-first eviction. That isolates the structures PR 4 swaps (the
+// open-addressed stash index, the per-level candidate lists) from memory-
+// model arithmetic.
+func EvictBenchmark(b *testing.B) {
+	cfg := config.Tiny().WithScheme(config.Baseline())
+	mem := dram.New(cfg.DRAM)
+	c, err := NewController(cfg, mem, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up through the issuer so the stash, tree and scratch buffers
+	// reach their steady-state shape.
+	is := NewIssuer(c, nil)
+	r := rng.New(2)
+	nd := cfg.ORAM.DataBlocks()
+	now := uint64(0)
+	for i := 0; i < 2000; i++ {
+		now = is.ReadBlock(now, block.ID(r.Uint64n(nd)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		leaf := block.Leaf(r.Uint64n(c.o.LeafCount()))
+		c.readBuf = c.tr.ReadPath(leaf, c.readBuf[:0])
+		if c.top != nil {
+			c.readBuf = c.top.ReadPath(leaf, c.readBuf)
+		}
+		for _, e := range c.readBuf {
+			c.fstash.Insert(e)
+		}
+		c.evictBuf = evictOntoPath(c.fstash, c.tr, c.top, c.o.Z, c.minLevel,
+			c.o.Levels, leaf, c.evictList, c.evictBuf, nil)
+	}
+}

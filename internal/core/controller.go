@@ -56,7 +56,7 @@ type Controller struct {
 	// make-check benchmark gate).
 	physBuf   []uint64
 	accBuf    []dram.Access // cold paths only: ring reshuffles, context switch
-	fetched   map[block.ID]bool
+	fetched   *epochSet     // blocks brought in by the current path access
 	readBuf   []tree.Entry   // read-phase entries (tree + top segment)
 	evictList [][]tree.Entry // per-level candidates for evictOntoPath
 	evictBuf  []tree.Entry   // eviction candidate pool / spillover
@@ -89,9 +89,9 @@ func NewController(cfg config.System, mem *dram.Model, r *rng.Source) (*Controll
 		rng:      r,
 		st:        newStats(o.Levels),
 		minLevel:  minLevel,
-		fetched:   make(map[block.ID]bool, 128),
 		evictList: make([][]tree.Entry, o.Levels),
 	}
+	c.fetched = newEpochSet(int(c.pm.Total()))
 	c.placeMain = func(e tree.Entry, level int) { c.recordMigration(e.Addr, level) }
 	switch cfg.Scheme.Top {
 	case config.TopDedicated:
@@ -194,13 +194,13 @@ func (c *Controller) pathAccess(now uint64, leaf block.Leaf, target block.ID,
 	c.physBuf = c.layout.PathPhys(leaf, c.physBuf[:0])
 	readDone := c.mem.ServicePath(now, c.physBuf, 0, false)
 
-	clear(c.fetched)
+	c.fetched.Reset()
 	c.readBuf = c.tr.ReadPath(leaf, c.readBuf[:0])
 	if c.top != nil {
 		c.readBuf = c.top.ReadPath(leaf, c.readBuf)
 	}
 	for _, e := range c.readBuf {
-		c.fetched[e.Addr] = true
+		c.fetched.Add(e.Addr)
 		if e.Addr == target {
 			found = true
 			continue
@@ -227,7 +227,7 @@ func (c *Controller) pathAccess(now uint64, leaf block.Leaf, target block.ID,
 }
 
 func (c *Controller) recordMigration(addr block.ID, level int) {
-	if c.fetched[addr] {
+	if c.fetched.Has(addr) {
 		c.st.MigrationFetched.Add(level)
 	} else {
 		c.st.MigrationPreexisting.Add(level)

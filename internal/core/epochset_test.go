@@ -1,0 +1,44 @@
+package core
+
+import "testing"
+
+func TestEpochSetBasics(t *testing.T) {
+	s := newEpochSet(64)
+	if s.Has(3) {
+		t.Fatal("fresh set reports membership")
+	}
+	s.Add(3)
+	s.Add(63)
+	if !s.Has(3) || !s.Has(63) || s.Has(4) {
+		t.Fatal("membership after Add wrong")
+	}
+	s.Reset()
+	if s.Has(3) || s.Has(63) {
+		t.Fatal("Reset did not empty the set")
+	}
+	s.Add(4)
+	if !s.Has(4) || s.Has(3) {
+		t.Fatal("membership after Reset+Add wrong")
+	}
+}
+
+// TestEpochSetGenerationWrap forces the uint32 generation counter through
+// its wrap and checks stale stamps from the previous cycle cannot alias
+// the restarted generation.
+func TestEpochSetGenerationWrap(t *testing.T) {
+	s := newEpochSet(8)
+	s.Add(1)
+	s.gen = ^uint32(0) // next Reset wraps
+	s.stamps[2] = 1    // stale stamp that would alias gen==1 after wrap
+	s.Reset()
+	if s.gen != 1 {
+		t.Fatalf("gen after wrap = %d, want 1", s.gen)
+	}
+	if s.Has(1) || s.Has(2) {
+		t.Fatal("stale stamps visible after generation wrap")
+	}
+	s.Add(5)
+	if !s.Has(5) {
+		t.Fatal("Add after wrap not visible")
+	}
+}

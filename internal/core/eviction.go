@@ -105,12 +105,12 @@ func evictOntoPath(fs *stash.FStash, tr *tree.Tree, top stash.TopStore,
 // differential-test oracle: for each level, leaf-to-root, rescan the whole
 // stash for blocks placeable in that level's bucket (TakeForBucket), then
 // fill the on-chip segment one block at a time, re-stashing refused blocks.
-// refused and takeBuf are caller-owned scratch (refused is cleared per
-// level, preserving the historical retry-at-shallower-levels semantics
-// without the historical per-level map allocation).
+// refused and takeBuf are caller-owned scratch (refused is an epoch-stamped
+// set reset per level, preserving the historical retry-at-shallower-levels
+// semantics with an O(1) clear instead of a map walk).
 func evictOntoPathReference(fs *stash.FStash, tr *tree.Tree, top stash.TopStore,
 	z config.ZProfile, minLevel, levels int, leaf block.Leaf,
-	refused map[block.ID]bool, takeBuf []tree.Entry,
+	refused *epochSet, takeBuf []tree.Entry,
 	onPlace func(e tree.Entry, level int)) {
 
 	for l := levels - 1; l >= minLevel; l-- {
@@ -126,10 +126,10 @@ func evictOntoPathReference(fs *stash.FStash, tr *tree.Tree, top stash.TopStore,
 		return
 	}
 	for l := minLevel - 1; l >= 0; l-- {
-		clear(refused)
+		refused.Reset()
 		for placed := 0; placed < z[l]; {
 			cand := fs.TakeForBucket(leaf, l, levels, 1,
-				func(e tree.Entry) bool { return !refused[e.Addr] }, takeBuf[:0])
+				func(e tree.Entry) bool { return !refused.Has(e.Addr) }, takeBuf[:0])
 			if len(cand) == 0 {
 				break
 			}
@@ -140,7 +140,7 @@ func evictOntoPathReference(fs *stash.FStash, tr *tree.Tree, top stash.TopStore,
 				}
 				placed++
 			} else {
-				refused[e.Addr] = true
+				refused.Add(e.Addr)
 				fs.Insert(e)
 			}
 		}

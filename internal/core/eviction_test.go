@@ -45,7 +45,7 @@ func TestEvictionDifferential(t *testing.T) {
 
 			liveCounts := make([]int, c.o.Levels)
 			refCounts := make([]int, c.o.Levels)
-			refused := make(map[block.ID]bool, 16)
+			refused := newEpochSet(int(c.pm.Total()))
 			takeBuf := make([]tree.Entry, 0, 64)
 			now := uint64(0)
 

@@ -161,7 +161,7 @@ func TestRhoBasicOperation(t *testing.T) {
 	if c.rho.SmallPaths == 0 {
 		t.Fatal("rho never used the small tree")
 	}
-	if len(c.rho.member) == 0 {
+	if c.rho.member.Len() == 0 {
 		t.Fatal("no blocks installed in the small tree")
 	}
 	if err := c.CheckInvariants(); err != nil {
@@ -208,8 +208,8 @@ func TestRhoDemotionDrains(t *testing.T) {
 		a := block.ID(r.Uint64n(c.pm.DataBlocks()))
 		now = is.ReadBlock(now+900, a)
 	}
-	if len(c.rho.member) > c.rho.limit {
-		t.Errorf("small tree holds %d members over limit %d", len(c.rho.member), c.rho.limit)
+	if c.rho.member.Len() > c.rho.limit {
+		t.Errorf("small tree holds %d members over limit %d", c.rho.member.Len(), c.rho.limit)
 	}
 	is.AdvanceTo(now + 100*c.o.IntervalT)
 	if err := c.CheckInvariants(); err != nil {

@@ -35,8 +35,14 @@ type rhoState struct {
 	top     *stash.TopCache
 	physOff uint64
 	fstash  *stash.FStash
-	member  map[block.ID]block.Leaf
-	order   []block.ID // FIFO for demotion
+	// member records which blocks live in the small tree and under which
+	// leaf — the simulation bookkeeping of the position-map residency bit.
+	// It is consulted on every request (NextStepKind), so it uses the same
+	// open-addressed table as the stash index; it is never iterated, so the
+	// swap cannot perturb ordering. Values are the leaves, stored as the
+	// table's uint32 payload.
+	member *stash.AddrTable
+	order  []block.ID // FIFO for demotion
 	limit   int
 	demoteQ []block.ID
 
@@ -68,7 +74,7 @@ func (c *Controller) initRho() error {
 		tr:     tree.New(small, small.TopLevels),
 		layout: tree.NewLayout(small, small.TopLevels, int(c.mem.RowBlocks())),
 		fstash: stash.NewFStash(c.o.StashCapacity),
-		member: make(map[block.ID]block.Leaf),
+		member: stash.NewAddrTable(int(slots / 2)),
 		limit:  int(slots / 2),
 	}
 	if small.TopLevels > 0 {
@@ -129,10 +135,11 @@ func (c *Controller) rhoPathAccess(now uint64, leaf block.Leaf, target block.ID,
 // main tree's dedicated cache.
 func (c *Controller) rhoDataAccess(now uint64, a block.ID, write bool) uint64 {
 	r := c.rho
-	leaf, ok := r.member[a]
+	rawLeaf, ok := r.member.Get(a)
 	if !ok {
 		panic(fmt.Sprintf("core: rhoDataAccess for non-member %v", a))
 	}
+	leaf := block.Leaf(rawLeaf)
 	if r.top != nil {
 		if _, hit := r.top.Find(a, leaf); hit {
 			c.st.TopHits++
@@ -147,7 +154,7 @@ func (c *Controller) rhoDataAccess(now uint64, a block.ID, write bool) uint64 {
 		}
 	}
 	newLeaf := r.randomLeaf(c)
-	r.member[a] = newLeaf
+	r.member.Put(a, uint32(newLeaf))
 	r.fstash.Insert(tree.Entry{Addr: a, Leaf: newLeaf})
 	c.st.ServedRequests++
 	return done
@@ -161,22 +168,23 @@ func (c *Controller) rhoInstall(a block.ID) {
 	r := c.rho
 	c.pm.Unmap(a)
 	leaf := r.randomLeaf(c)
-	r.member[a] = leaf
+	r.member.Put(a, uint32(leaf))
 	r.fstash.Insert(tree.Entry{Addr: a, Leaf: leaf})
 	r.order = append(r.order, a)
-	for len(r.member) > r.limit && len(r.order) > 0 {
+	for r.member.Len() > r.limit && len(r.order) > 0 {
 		victim := r.order[0]
 		r.order = r.order[1:]
-		vleaf, ok := r.member[victim]
+		rawLeaf, ok := r.member.Get(victim)
 		if !ok {
 			continue // already demoted
 		}
+		vleaf := block.Leaf(rawLeaf)
 		removed := r.fstash.Remove(victim) || r.tr.Remove(victim, vleaf) ||
 			(r.top != nil && r.top.Remove(victim, vleaf))
 		if !removed {
 			panic(fmt.Sprintf("core: rho member %v not in small structures", victim))
 		}
-		delete(r.member, victim)
+		r.member.Delete(victim)
 		r.demoteQ = append(r.demoteQ, victim)
 	}
 }
@@ -216,7 +224,7 @@ func (c *Controller) NextStepKind(j Job) StepKind {
 	// Small-tree membership is on-chip metadata: residents go straight to
 	// a small-tree slot; everything else (PosMap fetches, main data paths,
 	// demotion reinserts) needs a main-tree slot.
-	if _, ok := c.rho.member[j.Addr]; ok {
+	if _, ok := c.rho.member.Get(j.Addr); ok {
 		return StepSmall
 	}
 	return StepMain

@@ -18,17 +18,19 @@ import (
 type FStash struct {
 	capacity int
 	items    []tree.Entry
-	index    map[block.ID]int
+	index    *AddrTable
 	// HighWater tracks the maximum occupancy ever reached.
 	HighWater int
 }
 
 // NewFStash returns an empty stash provisioned for capacity blocks. The
-// index is pre-sized for that capacity so steady-state inserts never grow
-// the map (Path ORAM lets occupancy exceed capacity transiently; the map
-// grows then, and only then).
+// index is an open-addressed AddrTable pre-sized for that capacity, so
+// steady-state inserts never grow it (Path ORAM lets occupancy exceed
+// capacity transiently; the table doubles then, and only then). All
+// iteration happens over the items slice, so the index never influences
+// ordering — determinism is untouched by the table swap.
 func NewFStash(capacity int) *FStash {
-	return &FStash{capacity: capacity, index: make(map[block.ID]int, capacity)}
+	return &FStash{capacity: capacity, index: NewAddrTable(capacity)}
 }
 
 // Capacity returns the provisioned size.
@@ -43,11 +45,11 @@ func (s *FStash) Overfull(threshold int) bool { return len(s.items) > threshold 
 // Insert adds or updates a block. Duplicate inserts update the leaf in
 // place (the block was remapped while stashed).
 func (s *FStash) Insert(e tree.Entry) {
-	if i, ok := s.index[e.Addr]; ok {
+	if i, ok := s.index.Get(e.Addr); ok {
 		s.items[i] = e
 		return
 	}
-	s.index[e.Addr] = len(s.items)
+	s.index.Put(e.Addr, uint32(len(s.items)))
 	s.items = append(s.items, e)
 	if len(s.items) > s.HighWater {
 		s.HighWater = len(s.items)
@@ -56,7 +58,7 @@ func (s *FStash) Insert(e tree.Entry) {
 
 // Lookup returns the leaf of addr if stashed.
 func (s *FStash) Lookup(addr block.ID) (block.Leaf, bool) {
-	if i, ok := s.index[addr]; ok {
+	if i, ok := s.index.Get(addr); ok {
 		return s.items[i].Leaf, true
 	}
 	return block.NoLeaf, false
@@ -66,11 +68,11 @@ func (s *FStash) Lookup(addr block.ID) (block.Leaf, bool) {
 // via swap-with-last, keeping iteration deterministic for a given op
 // sequence.
 func (s *FStash) Remove(addr block.ID) bool {
-	i, ok := s.index[addr]
+	i, ok := s.index.Get(addr)
 	if !ok {
 		return false
 	}
-	s.removeAt(i)
+	s.removeAt(int(i))
 	return true
 }
 
@@ -82,16 +84,16 @@ func (s *FStash) removeAt(i int) {
 	last := len(s.items) - 1
 	if i != last {
 		s.items[i] = s.items[last]
-		s.index[s.items[i].Addr] = i
+		s.index.Put(s.items[i].Addr, uint32(i))
 	}
 	s.items = s.items[:last]
-	delete(s.index, addr)
+	s.index.Delete(addr)
 }
 
 // SetLeaf updates the leaf of a stashed block (remap while stashed); it
 // reports whether the block was found.
 func (s *FStash) SetLeaf(addr block.ID, leaf block.Leaf) bool {
-	if i, ok := s.index[addr]; ok {
+	if i, ok := s.index.Get(addr); ok {
 		s.items[i].Leaf = leaf
 		return true
 	}
