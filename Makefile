@@ -6,18 +6,22 @@
 #   make race       full tree under the race detector (the parallel
 #                   experiment engine must stay race-clean)
 #   make alloccheck gate: the steady-state hot paths (path access, evict,
-#                   LLC access, DWB scan) must not allocate
+#                   LLC access, DWB scan, histogram observe) must not
+#                   allocate
+#   make docscheck  gate: exported facade/metrics identifiers must carry doc
+#                   comments, and docs/METRICS.md must match the metrics
+#                   registry's self-description both ways
 #   make check      all of the above — the documented verification flow
 #   make bench      benchmark harness (one benchmark per paper figure)
-#   make benchjson  performance-trajectory snapshot (BENCH_pr4.json); fails
-#                   if the quick fig10 gmeans drift from BENCH_pr3.json
-#   make benchcmp   compare BENCH_pr4.json against BENCH_pr3.json: fails on
+#   make benchjson  performance-trajectory snapshot (BENCH_pr6.json); fails
+#                   if the quick fig10 gmeans drift from BENCH_pr4.json
+#   make benchcmp   compare BENCH_pr6.json against BENCH_pr4.json: fails on
 #                   >10% ns/op regression or any metric drift
 #   make profile    CPU+heap profile of a quick fig10 regeneration
 
 GO ?= go
 
-.PHONY: build vet test race alloccheck check bench benchjson benchcmp profile
+.PHONY: build vet test race alloccheck docscheck check bench benchjson benchcmp profile
 
 build:
 	$(GO) build ./...
@@ -34,16 +38,19 @@ race:
 alloccheck:
 	$(GO) run ./cmd/benchjson -check
 
-check: build vet test race alloccheck
+docscheck:
+	$(GO) run ./cmd/docscheck
+
+check: build vet test race alloccheck docscheck
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 benchjson:
-	$(GO) run ./cmd/benchjson -out BENCH_pr4.json -baseline BENCH_pr3.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr6.json -baseline BENCH_pr4.json
 
 benchcmp:
-	$(GO) run ./cmd/benchjson -diff BENCH_pr4.json -against BENCH_pr3.json
+	$(GO) run ./cmd/benchjson -diff BENCH_pr6.json -against BENCH_pr4.json
 
 profile:
 	$(GO) run ./cmd/experiments -fig fig10 -quick -progress=false \

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchjson -out BENCH_pr4.json          # write the snapshot (make benchjson);
+//	benchjson -out BENCH_pr6.json          # write the snapshot (make benchjson);
 //	                                       # -baseline pins the fig10 gmeans to the
 //	                                       # previous PR's to machine precision
 //	benchjson -check                       # gate: fail if any zero-alloc hot-path
@@ -28,6 +28,7 @@ import (
 	"iroram/internal/config"
 	"iroram/internal/core"
 	"iroram/internal/dram"
+	"iroram/internal/metrics"
 	"iroram/internal/rng"
 )
 
@@ -49,7 +50,8 @@ type report struct {
 // zeroAllocBenchmarks are the steady-state hot paths gated at 0 allocs/op
 // by `make alloccheck`: the end-to-end path access plus the PR 4
 // data-structure microbenchmarks (eviction round-trip, LLC access with LRU
-// tracking, DWB candidate scan).
+// tracking, DWB candidate scan) and the PR 6 histogram observation (the
+// one metrics operation on the access path).
 var zeroAllocBenchmarks = []struct {
 	name string
 	fn   func(*testing.B)
@@ -58,6 +60,7 @@ var zeroAllocBenchmarks = []struct {
 	{"Evict", core.EvictBenchmark},
 	{"LLCAccess", cache.AccessBenchmark},
 	{"DWBScan", cache.ScanBenchmark},
+	{"HistObserve", metrics.ObserveBenchmark},
 }
 
 func main() {
@@ -66,7 +69,7 @@ func main() {
 
 func run() int {
 	var (
-		out   = flag.String("out", "BENCH_pr4.json", "output file")
+		out   = flag.String("out", "BENCH_pr6.json", "output file")
 		check = flag.Bool("check", false,
 			"only verify that the hot-path benchmarks perform 0 allocs/op; no file is written")
 		baseline = flag.String("baseline", "",
@@ -96,7 +99,7 @@ func run() int {
 		if !ok {
 			return 1
 		}
-		fmt.Println("benchjson: PathAccess, Evict, LLCAccess, DWBScan all 0 allocs/op ok")
+		fmt.Println("benchjson: PathAccess, Evict, LLCAccess, DWBScan, HistObserve all 0 allocs/op ok")
 		return 0
 	}
 

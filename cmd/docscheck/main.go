@@ -1,0 +1,161 @@
+// Command docscheck is the documentation gate wired into `make check`. It
+// fails when:
+//
+//   - an exported identifier of the facade package (the repository root) or
+//     of internal/metrics lacks a doc comment — these are the two packages
+//     whose godoc is the public contract;
+//   - docs/METRICS.md is out of sync with the metrics registry's
+//     self-description: every registered instrument name must appear in the
+//     document (as a backticked token), and every metric-shaped backticked
+//     token in the document must name a registered instrument. The
+//     registry is the source of truth; the document may not invent or omit
+//     names.
+//
+// Run from the repository root (as the Makefile does): paths are relative.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/token"
+	"os"
+	"regexp"
+	"strings"
+
+	"iroram"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	bad := 0
+	for _, dir := range []string{".", "internal/metrics"} {
+		n, err := auditPackageDocs(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+			return 2
+		}
+		bad += n
+	}
+	n, err := auditMetricsDoc("docs/METRICS.md")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		return 2
+	}
+	bad += n
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d problems\n", bad)
+		return 1
+	}
+	fmt.Println("docscheck: godoc coverage and docs/METRICS.md in sync ok")
+	return 0
+}
+
+// auditPackageDocs parses the non-test files of dir and reports every
+// exported declaration (package clause included) without a doc comment.
+func auditPackageDocs(dir string) (int, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	complain := func(what string) {
+		fmt.Fprintf(os.Stderr, "docscheck: %s: %s lacks a doc comment\n", dir, what)
+		bad++
+	}
+	for _, pkg := range pkgs {
+		d := doc.New(pkg, dir, 0)
+		if strings.TrimSpace(d.Doc) == "" {
+			complain("package " + d.Name)
+		}
+		for _, v := range append(append([]*doc.Value{}, d.Consts...), d.Vars...) {
+			if strings.TrimSpace(v.Doc) == "" && hasExportedName(v.Names) {
+				complain(strings.Join(exportedNames(v.Names), ", "))
+			}
+		}
+		for _, t := range d.Types {
+			if ast.IsExported(t.Name) && strings.TrimSpace(t.Doc) == "" {
+				complain("type " + t.Name)
+			}
+			for _, m := range t.Methods {
+				if ast.IsExported(m.Name) && strings.TrimSpace(m.Doc) == "" {
+					complain("method " + t.Name + "." + m.Name)
+				}
+			}
+			for _, f := range t.Funcs {
+				if ast.IsExported(f.Name) && strings.TrimSpace(f.Doc) == "" {
+					complain("func " + f.Name)
+				}
+			}
+			for _, v := range append(append([]*doc.Value{}, t.Consts...), t.Vars...) {
+				if strings.TrimSpace(v.Doc) == "" && hasExportedName(v.Names) {
+					complain(strings.Join(exportedNames(v.Names), ", "))
+				}
+			}
+		}
+		for _, f := range d.Funcs {
+			if ast.IsExported(f.Name) && strings.TrimSpace(f.Doc) == "" {
+				complain("func " + f.Name)
+			}
+		}
+	}
+	return bad, nil
+}
+
+func hasExportedName(names []string) bool { return len(exportedNames(names)) > 0 }
+
+func exportedNames(names []string) []string {
+	var out []string
+	for _, n := range names {
+		if ast.IsExported(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// metricToken matches backticked identifiers in docs/METRICS.md that look
+// like registered instrument names (the four stable prefixes).
+var metricToken = regexp.MustCompile("`((?:oram|sim|llc|dram)_[a-z0-9_]+)`")
+
+// auditMetricsDoc checks the two-way correspondence between docs/METRICS.md
+// and the registry self-description of a live System.
+func auditMetricsDoc(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("%s missing (the metrics schema reference is mandatory): %w", path, err)
+	}
+	text := string(data)
+
+	registered := map[string]bool{}
+	bad := 0
+	for _, d := range iroram.MetricDescriptors() {
+		registered[d.Name] = true
+		if !strings.Contains(text, "`"+d.Name+"`") {
+			fmt.Fprintf(os.Stderr, "docscheck: %s: registered metric %q (%s, %s) is undocumented\n",
+				path, d.Name, d.Kind, d.Unit)
+			bad++
+		}
+	}
+	seen := map[string]bool{}
+	for _, m := range metricToken.FindAllStringSubmatch(text, -1) {
+		name := m[1]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		if !registered[name] {
+			fmt.Fprintf(os.Stderr, "docscheck: %s: documented metric %q is not registered (stale name?)\n",
+				path, name)
+			bad++
+		}
+	}
+	return bad, nil
+}

@@ -6,10 +6,19 @@
 //	experiments -fig all -out results.md   # everything, markdown report
 //	experiments -fig fig3 -requests 60000  # more trace records
 //	experiments -fig all -jobs 8           # fan cells across 8 workers
+//	experiments -fig fig10 -emit jsonl -out artifacts/   # JSONL sidecars
+//	experiments -fig all -telemetry :8080  # live JSON progress snapshots
 //
 // Tables go to stdout (and -out); progress and per-figure timing go to
 // stderr, so stdout is byte-identical for every -jobs value and safe to
 // diff or commit. Ctrl-C cancels the sweep at the next cell boundary.
+//
+// With -emit jsonl, -out names a directory instead of an append file: one
+// <figure>.jsonl sidecar per figure, one record per simulated cell with the
+// full metric dump (schema in docs/METRICS.md). Artifact bytes, like
+// stdout, are identical for every -jobs value. -telemetry serves the latest
+// progress snapshot as JSON over HTTP, published from the serialized
+// progress callback so no simulation state is shared across goroutines.
 package main
 
 import (
@@ -40,15 +49,27 @@ func run() int {
 		requests = flag.Int("requests", 30000, "trace records per run")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 13)")
-		out      = flag.String("out", "", "also append results to this file")
+		out      = flag.String("out", "", "append results to this file; with -emit jsonl, the artifact directory")
 		quick    = flag.Bool("quick", false, "tiny geometry smoke run")
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0),
 			"parallel simulation cells (1 = sequential; results are identical for every value)")
-		progress = flag.Bool("progress", true, "report cell progress and ETA on stderr")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		progress  = flag.Bool("progress", true, "report cell progress and ETA on stderr")
+		emitMode  = flag.String("emit", "", `artifact emission: "jsonl" writes per-figure sidecars under -out`)
+		telemetry = flag.String("telemetry", "", "serve live JSON progress snapshots on this HTTP address (e.g. :8080)")
+		epochs    = flag.Uint64("epochs", 0, "with -emit jsonl: record an epoch snapshot every N issued paths (0 = off)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *emitMode != "" && *emitMode != "jsonl" {
+		fmt.Fprintf(os.Stderr, "experiments: unknown -emit mode %q (only \"jsonl\")\n", *emitMode)
+		return 2
+	}
+	if *emitMode == "jsonl" && *out == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -emit jsonl requires -out <dir>")
+		return 2
+	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -77,8 +98,15 @@ func run() int {
 		opts.Benchmarks = list
 	}
 
+	var artifacts *iroram.ArtifactLog
+	if *emitMode == "jsonl" {
+		artifacts = &iroram.ArtifactLog{}
+		opts.Artifacts = artifacts
+		opts.EpochInterval = *epochs
+	}
+
 	var sink *os.File
-	if *out != "" {
+	if *out != "" && *emitMode == "" {
 		f, err := os.OpenFile(*out, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
@@ -94,15 +122,25 @@ func run() int {
 		}
 	}
 
+	var tele *telemetryServer
+	if *telemetry != "" {
+		t, err := startTelemetry(*telemetry)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: telemetry: %v\n", err)
+			return 2
+		}
+		defer t.Close()
+		tele = t
+		fmt.Fprintf(os.Stderr, "telemetry: serving snapshots on http://%s/\n", t.Addr())
+	}
+
 	names := []string{*fig}
 	if *fig == "all" {
 		names = append([]string{}, iroram.FigureNames...)
 	}
 	for _, name := range names {
 		start := time.Now()
-		if *progress {
-			opts.Progress = progressPrinter(name)
-		}
+		opts.Progress = progressObserver(name, *progress, tele)
 		if name == "zsearch" {
 			zprof, desc, err := iroram.SearchZProfile(opts)
 			clearProgress(*progress)
@@ -124,6 +162,14 @@ func run() int {
 		emit("\n")
 		fmt.Fprintf(os.Stderr, "[%s took %v, jobs=%d]\n",
 			name, time.Since(start).Round(time.Millisecond), *jobs)
+	}
+	if artifacts != nil {
+		if err := artifacts.WriteDir(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "[wrote %d artifact records under %s]\n",
+			artifacts.Len(), *out)
 	}
 	return 0
 }
@@ -154,13 +200,23 @@ func parseBenchmarks(s string) ([]string, error) {
 	return list, nil
 }
 
-// progressPrinter renders "name: done/total cells (eta ...)" on stderr,
-// rewriting the same line as cells land.
-func progressPrinter(name string) func(iroram.Progress) {
+// progressObserver combines the stderr progress line with telemetry
+// publication. Both run on the runner's serialized progress-callback path,
+// so neither touches simulation state and no extra synchronization is
+// needed. It returns nil when both outputs are off.
+func progressObserver(name string, stderrLine bool, tele *telemetryServer) func(iroram.Progress) {
+	if !stderrLine && tele == nil {
+		return nil
+	}
 	return func(p iroram.Progress) {
-		fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells (elapsed %v, eta %v)   ",
-			name, p.Done, p.Total,
-			p.Elapsed.Round(time.Second), p.ETA().Round(time.Second))
+		if stderrLine {
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells (elapsed %v, eta %v)   ",
+				name, p.Done, p.Total,
+				p.Elapsed.Round(time.Second), p.ETA().Round(time.Second))
+		}
+		if tele != nil {
+			tele.publishProgress(name, p)
+		}
 	}
 }
 

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"iroram"
+	"iroram/internal/telemetry"
+)
+
+// telemetryServer wraps the shared snapshot server with the experiment
+// progress record shape. Publication happens on the runner's serialized
+// progress-callback path; the server itself holds only marshalled bytes.
+type telemetryServer struct {
+	*telemetry.Server
+}
+
+// progressSnapshot is the JSON document served at the telemetry address
+// while a sweep runs.
+type progressSnapshot struct {
+	Figure    string  `json:"figure"`
+	Done      int     `json:"done"`
+	Total     int     `json:"total"`
+	Fraction  float64 `json:"fraction"`
+	ElapsedMS int64   `json:"elapsed_ms"`
+	ETAMS     int64   `json:"eta_ms"`
+}
+
+func startTelemetry(addr string) (*telemetryServer, error) {
+	s, err := telemetry.Start(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &telemetryServer{Server: s}, nil
+}
+
+func (t *telemetryServer) publishProgress(name string, p iroram.Progress) {
+	t.Publish(progressSnapshot{ //nolint:errcheck // progress snapshots are best-effort
+		Figure:    name,
+		Done:      p.Done,
+		Total:     p.Total,
+		Fraction:  p.Fraction(),
+		ElapsedMS: p.Elapsed.Milliseconds(),
+		ETAMS:     p.ETA().Milliseconds(),
+	})
+}

@@ -5,6 +5,14 @@
 //
 //	irsim -scheme IR-ORAM -bench mcf -requests 30000
 //	irsim -scheme Baseline -bench mix -levels 25   # Table I geometry
+//	irsim -scheme IR-ORAM -bench mcf -emit jsonl -out artifacts/
+//	irsim -bench lbm -telemetry :8080 -epochs 1000
+//
+// With -emit jsonl, the run additionally writes artifacts/irsim.jsonl: one
+// record carrying the full metric dump (docs/METRICS.md schema), plus the
+// epoch time series when -epochs is set. -telemetry serves the live metrics
+// snapshot as JSON over HTTP, refreshed between simulation steps on the
+// run's own goroutine.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"iroram"
 	"iroram/internal/block"
 	"iroram/internal/prof"
+	"iroram/internal/telemetry"
 )
 
 // main defers to run so the pprof outputs flush on every exit path.
@@ -29,12 +38,25 @@ func run() int {
 		bench    = flag.String("bench", "mix", `workload: a Table II benchmark, "mix", or "random"`)
 		requests = flag.Int("requests", 30000, "trace records to simulate")
 		levels   = flag.Int("levels", 0, "override ORAM tree levels (0 = scaled default, 25 = Table I)")
-		seed     = flag.Uint64("seed", 1, "simulation seed")
-		compare  = flag.Bool("compare", false, "run every scheme on the workload and print a comparison")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		compare   = flag.Bool("compare", false, "run every scheme on the workload and print a comparison")
+		emitMode  = flag.String("emit", "", `artifact emission: "jsonl" writes irsim.jsonl under -out`)
+		out       = flag.String("out", "", "artifact directory for -emit jsonl")
+		telemAddr = flag.String("telemetry", "", "serve live JSON metric snapshots on this HTTP address (e.g. :8080)")
+		epochs    = flag.Uint64("epochs", 0, "record an epoch snapshot every N issued paths (0 = off)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *emitMode != "" && *emitMode != "jsonl" {
+		fmt.Fprintf(os.Stderr, "irsim: unknown -emit mode %q (only \"jsonl\")\n", *emitMode)
+		return 2
+	}
+	if *emitMode == "jsonl" && *out == "" {
+		fmt.Fprintln(os.Stderr, "irsim: -emit jsonl requires -out <dir>")
+		return 2
+	}
 
 	stopProf, err := prof.Start(*cpuProf, *memProf)
 	if err != nil {
@@ -44,7 +66,7 @@ func run() int {
 	defer stopProf()
 
 	if *compare {
-		return runComparison(*bench, *requests, *levels, *seed)
+		return runComparison(*bench, *requests, *levels, *seed, *emitMode, *out, *epochs)
 	}
 
 	cfg := iroram.ScaledConfig()
@@ -73,11 +95,52 @@ func run() int {
 		return 2
 	}
 
-	res, err := iroram.RunBenchmark(cfg, *bench, *requests)
+	sys, err := iroram.NewSystem(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "irsim: %v\n", err)
 		return 1
 	}
+	gen, err := iroram.NewTrace(*bench, cfg.ORAM.DataBlocks(), cfg.Seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irsim: %v\n", err)
+		return 1
+	}
+	sys.SetEpochInterval(*epochs)
+
+	// The telemetry callback runs between Step calls on this goroutine —
+	// the one point where a registry snapshot is consistent — and the
+	// server retains only marshalled bytes, so the System stays
+	// single-goroutine.
+	var observe func(consumed int)
+	if *telemAddr != "" {
+		tele, err := telemetry.Start(*telemAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irsim: telemetry: %v\n", err)
+			return 2
+		}
+		defer tele.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving snapshots on http://%s/\n", tele.Addr())
+		every := *requests / 100
+		if every == 0 {
+			every = 1
+		}
+		observe = func(consumed int) {
+			tele.Publish(struct { //nolint:errcheck // snapshots are best-effort
+				Consumed int                     `json:"consumed"`
+				Total    int                     `json:"total"`
+				Metrics  *iroram.MetricsSnapshot `json:"metrics"`
+			}{consumed, *requests, sys.Metrics().Snapshot()})
+		}
+		res := sys.RunObserved(gen, *requests, every, observe)
+		return report(cfg, res, *emitMode, *out, *seed)
+	}
+
+	res := sys.RunObserved(gen, *requests, 0, nil)
+	return report(cfg, res, *emitMode, *out, *seed)
+}
+
+// report prints the run summary and writes the JSONL artifact when asked.
+func report(cfg iroram.Config, res iroram.Result, emitMode, out string, seed uint64) int {
 
 	fmt.Printf("scheme        %s\n", cfg.Scheme.Name)
 	fmt.Printf("workload      %s (%d requests, %d instructions)\n",
@@ -108,14 +171,25 @@ func run() int {
 		fmt.Printf("WARNING       %d issue-gap violations (obliviousness audit)\n",
 			res.ORAM.NonUniformIssues)
 	}
+	if emitMode == "jsonl" {
+		log := &iroram.ArtifactLog{}
+		log.Add(iroram.NewArtifactRecord("irsim", cfg.Scheme.Name, res.Name, "", seed, res))
+		if err := log.WriteDir(out); err != nil {
+			fmt.Fprintf(os.Stderr, "irsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "[wrote artifact record under %s]\n", out)
+	}
 	return 0
 }
 
 // runComparison is -compare: every scheme on one workload, one line each.
-func runComparison(bench string, requests, levels int, seed uint64) int {
+// With -emit jsonl it also writes one artifact record per scheme.
+func runComparison(bench string, requests, levels int, seed uint64, emitMode, out string, epochs uint64) int {
 	fmt.Printf("%-10s %14s %9s %8s %8s %8s %8s\n",
 		"scheme", "cycles", "speedup", "paths", "PTp", "dummies", "blk/acc")
 	var baseCycles float64
+	artifacts := &iroram.ArtifactLog{}
 	for _, sch := range iroram.AllSchemes() {
 		cfg := iroram.ScaledConfig()
 		if levels == 25 {
@@ -126,10 +200,20 @@ func runComparison(bench string, requests, levels int, seed uint64) int {
 		}
 		cfg.Seed = seed
 		cfg = cfg.WithScheme(sch)
-		res, err := iroram.RunBenchmark(cfg, bench, requests)
+		sys, err := iroram.NewSystem(cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "irsim: %s: %v\n", sch.Name, err)
 			return 1
+		}
+		gen, err := iroram.NewTrace(bench, cfg.ORAM.DataBlocks(), cfg.Seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "irsim: %s: %v\n", sch.Name, err)
+			return 1
+		}
+		sys.SetEpochInterval(epochs)
+		res := sys.RunObserved(gen, requests, 0, nil)
+		if emitMode == "jsonl" {
+			artifacts.Add(iroram.NewArtifactRecord("irsim", sch.Name, res.Name, "", seed, res))
 		}
 		if baseCycles == 0 {
 			baseCycles = float64(res.Cycles)
@@ -142,6 +226,13 @@ func runComparison(bench string, requests, levels int, seed uint64) int {
 		fmt.Printf("%-10s %14d %9.3f %8d %8d %8d %8.1f\n",
 			sch.Name, res.Cycles, baseCycles/float64(res.Cycles), total,
 			res.ORAM.PosMapPaths, res.ORAM.DummyPaths, blkPerAcc)
+	}
+	if emitMode == "jsonl" {
+		if err := artifacts.WriteDir(out); err != nil {
+			fmt.Fprintf(os.Stderr, "irsim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "[wrote %d artifact records under %s]\n", artifacts.Len(), out)
 	}
 	return 0
 }

@@ -36,6 +36,21 @@
 //	opts.Progress = func(p iroram.Progress) { fmt.Println(p.Done, p.Total) }
 //	tab, err := iroram.Experiment("fig10", opts)
 //
+// # Observability
+//
+// Every run snapshots a registry of named instruments — per-path-type
+// counters and latency histograms, phase cycle accounting, cache and DRAM
+// counters — into Result.Metrics; MetricDescriptors lists the catalogue,
+// and docs/METRICS.md is the schema reference (validated against the code
+// by `make docscheck`). ArtifactLog and NewArtifactRecord turn results into
+// schema-versioned JSONL artifacts, the same format cmd/experiments and
+// cmd/irsim write with -emit jsonl; artifact bytes are deterministic and
+// independent of the worker count, like the tables. Instrument updates are
+// allocation-free on the simulator's access path, and epoch time series
+// (ExperimentOptions.EpochInterval, System.SetEpochInterval) are opt-in
+// because they allocate. See docs/OBSERVABILITY.md for a walkthrough,
+// including the live -telemetry HTTP endpoint.
+//
 // # The oblivious store
 //
 // NewObliviousStore returns a working Path ORAM over sealed memory

@@ -2,6 +2,7 @@ package iroram_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"log"
 
@@ -82,4 +83,34 @@ func ExampleExperiment() {
 	v, _ := tab.Get("IR-Alloc (IR-ORAM profile)", "blocks/path")
 	fmt.Println("blocks per path under IR-Alloc:", v)
 	// Output: blocks per path under IR-Alloc: 43
+}
+
+// Emitting a machine-readable JSONL artifact for one run — the same record
+// format cmd/experiments and cmd/irsim write with -emit jsonl (schema in
+// docs/METRICS.md).
+func ExampleArtifactLog() {
+	res, err := iroram.RunBenchmark(iroram.TinyConfig().WithScheme(iroram.IROram()), "mcf", 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	artifacts := &iroram.ArtifactLog{}
+	artifacts.Add(iroram.NewArtifactRecord("demo", "IR-ORAM", "mcf", "", 1, res))
+
+	var buf bytes.Buffer
+	if err := artifacts.Encode(&buf); err != nil {
+		log.Fatal(err)
+	}
+	var rec iroram.ArtifactRecord
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("schema:", rec.Schema)
+	fmt.Println("cell:", rec.Figure, rec.Scheme, rec.Benchmark)
+	fmt.Println("counts cycles:", rec.Metrics.Counters["sim_cycles"] == rec.Cycles)
+	fmt.Println("tracks path types:", rec.Metrics.Counters["oram_paths_ptd"] > 0)
+	// Output:
+	// schema: 1
+	// cell: demo IR-ORAM mcf
+	// counts cycles: true
+	// tracks path types: true
 }

@@ -15,6 +15,9 @@ var FigureNames = []string{
 // given scale. See DESIGN.md for the experiment index and EXPERIMENTS.md
 // for recorded paper-vs-measured values.
 func Experiment(name string, opts ExperimentOptions) (*Table, error) {
+	// Artifact records emitted by the drivers are labelled with the
+	// experiment name they ran under.
+	opts.Figure = name
 	switch name {
 	case "table2":
 		return experiments.Table2(opts)
@@ -70,6 +73,7 @@ func Experiment(name string, opts ExperimentOptions) (*Table, error) {
 // UnknownExperimentError reports an unrecognized experiment name.
 type UnknownExperimentError struct{ Name string }
 
+// Error spells out the unknown name and where the valid ones live.
 func (e *UnknownExperimentError) Error() string {
 	return "iroram: unknown experiment " + e.Name + " (see FigureNames)"
 }

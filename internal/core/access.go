@@ -93,7 +93,7 @@ func (c *Controller) ServeOnChip(now uint64, j Job) (served bool, done uint64) {
 // reinsert returns an out-of-tree block to the stash under a fresh leaf and
 // dirties its PosMap1 entry (which the caller has ensured is resident).
 func (c *Controller) reinsert(a block.ID, pm1 block.ID) {
-	newLeaf := c.pm.Remap(a)
+	newLeaf := c.remap(a)
 	c.fstash.Insert(tree.Entry{Addr: a, Leaf: newLeaf})
 	c.plb.MarkDirty(uint64(pm1))
 }
@@ -145,7 +145,7 @@ func (c *Controller) PathStep(now uint64, j Job) (completed bool, done uint64) {
 		c.rhoInstall(a)
 		c.plb.MarkDirty(uint64(pm1))
 	} else {
-		newLeaf := c.pm.Remap(a)
+		newLeaf := c.remap(a)
 		c.fstash.Insert(tree.Entry{Addr: a, Leaf: newLeaf})
 		c.plb.MarkDirty(uint64(pm1))
 	}
@@ -193,7 +193,7 @@ func (c *Controller) fetchPosBlock(now uint64, u block.ID, ptype block.PathType,
 	if !found && !parked {
 		panic(fmt.Sprintf("core: PosMap block %v not on its path %d", u, leaf))
 	}
-	c.pm.Remap(u)
+	c.remap(u)
 	if victim := c.plb.Insert(uint64(u), true); victim.Valid {
 		v := block.ID(victim.Addr)
 		c.fstash.Insert(tree.Entry{Addr: v, Leaf: c.pm.Leaf(v)})
@@ -264,7 +264,7 @@ func (c *Controller) dwbStep(now uint64, a block.ID, stage int) (newStage int, d
 		if !found {
 			panic(fmt.Sprintf("core: DWB target %v not on its path", a))
 		}
-		newLeaf := c.pm.Remap(a)
+		newLeaf := c.remap(a)
 		c.fstash.Insert(tree.Entry{Addr: a, Leaf: newLeaf})
 		c.plb.MarkDirty(uint64(c.pm.Pos1For(a)))
 		return 0, done, true

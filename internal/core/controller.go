@@ -16,6 +16,17 @@
 //     every T cycles; the issuer fills slots with demand work, posted
 //     writes, background eviction, IR-DWB conversions, or pure dummies —
 //     indistinguishable from outside the TCB.
+//
+// Two contracts bind every function on the access path. Determinism: all
+// randomness is drawn from the rng streams handed in at construction, so a
+// (config, seed) pair fully determines every counter, histogram and epoch
+// in Stats — the basis of the experiment engine's byte-identical-output
+// guarantee. Zero allocations: steady-state path accesses must not touch
+// the heap (TestPathAccessZeroAllocs, `make alloccheck`); the metrics
+// instruments embedded in Stats are updated by direct field writes
+// (registration with a metrics.Registry happens once, in RegisterMetrics),
+// and the opt-in epoch time series (Stats.EpochInterval) is the sole
+// sanctioned exception.
 package core
 
 import (
@@ -193,6 +204,7 @@ func (c *Controller) pathAccess(now uint64, leaf block.Leaf, target block.ID,
 	// the physical address list (no []dram.Access rebuild).
 	c.physBuf = c.layout.PathPhys(leaf, c.physBuf[:0])
 	readDone := c.mem.ServicePath(now, c.physBuf, 0, false)
+	c.st.PhaseReadCycles += readDone - now
 
 	c.fetched.Reset()
 	c.readBuf = c.tr.ReadPath(leaf, c.readBuf[:0])
@@ -217,13 +229,16 @@ func (c *Controller) pathAccess(now uint64, leaf block.Leaf, target block.ID,
 	// Write phase DRAM traffic: the same physical blocks, written. The
 	// batch is posted (its completion time is not waited on); it occupies
 	// the channel buses and delays whatever issues next.
-	c.mem.PostWritePath(readDone, c.physBuf, 0)
+	writeDone := c.mem.PostWritePath(readDone, c.physBuf, 0)
+	c.st.PhaseWriteBackCycles += writeDone - readDone
 
 	c.st.Paths.Add(ptype, len(c.physBuf), len(c.physBuf))
+	done = readDone + c.o.OnChipLatency
+	c.st.PathLatency[ptype].Observe(done - now)
 	if c.st.RecordLeaves {
 		c.st.Leaves = append(c.st.Leaves, leaf)
 	}
-	return found, readDone + c.o.OnChipLatency
+	return found, done
 }
 
 func (c *Controller) recordMigration(addr block.ID, level int) {

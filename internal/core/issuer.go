@@ -83,19 +83,30 @@ func (is *Issuer) earliestIssue(now uint64) uint64 {
 // may start later than both the dummy deadline and the previous path's
 // completion (the controller must never have been observably idle).
 func (is *Issuer) record(slot uint64) {
-	is.c.st.PathsIssued++
+	st := is.c.st
+	st.PathsIssued++
+	st.QueueDepth.Observe(uint64(len(is.writeQ)))
 	if is.t > 0 && is.haveIssued {
 		limit := is.lastIssue + is.t
 		if is.prevDone > limit {
 			limit = is.prevDone
 		}
 		if slot > limit {
-			is.c.st.NonUniformIssues++
+			st.NonUniformIssues++
 		}
 	}
 	is.lastIssue = slot
 	is.haveIssued = true
 	is.slotIdx++
+	if st.EpochInterval > 0 && st.PathsIssued%st.EpochInterval == 0 {
+		st.Epochs = append(st.Epochs, Epoch{
+			Paths:    st.PathsIssued,
+			Cycle:    slot,
+			ByType:   st.Paths.Paths,
+			Served:   st.ServedRequests,
+			StashLen: is.c.StashLen(),
+		})
+	}
 }
 
 // finish notes the completion time of the path issued last.

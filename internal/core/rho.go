@@ -103,6 +103,7 @@ func (c *Controller) rhoPathAccess(now uint64, leaf block.Leaf, target block.ID,
 	r := c.rho
 	c.physBuf = r.layout.PathPhys(leaf, c.physBuf[:0])
 	readDone := c.mem.ServicePath(now, c.physBuf, r.physOff, false)
+	c.st.PhaseReadCycles += readDone - now
 
 	c.readBuf = r.tr.ReadPath(leaf, c.readBuf[:0])
 	var top stash.TopStore // keep a nil *TopCache a nil interface
@@ -123,10 +124,13 @@ func (c *Controller) rhoPathAccess(now uint64, leaf block.Leaf, target block.ID,
 		r.o.Levels, leaf, c.evictList, c.evictBuf, nil)
 
 	// As in the main tree, the write phase is posted to DRAM.
-	c.mem.PostWritePath(readDone, c.physBuf, r.physOff)
+	writeDone := c.mem.PostWritePath(readDone, c.physBuf, r.physOff)
+	c.st.PhaseWriteBackCycles += writeDone - readDone
 	c.st.Paths.Add(ptype, len(c.physBuf), len(c.physBuf))
+	done = readDone + c.o.OnChipLatency
+	c.st.PathLatency[ptype].Observe(done - now)
 	r.SmallPaths++
-	return found, readDone + c.o.OnChipLatency
+	return found, done
 }
 
 // rhoDataAccess services a demand access for a small-tree resident block:

@@ -101,6 +101,7 @@ func (c *Controller) ringAccess(now uint64, leaf block.Leaf, target block.ID,
 		}
 	}
 	readDone := c.mem.ServiceBatch(now, c.accBuf)
+	c.st.PhaseReadCycles += readDone - now
 	if targetLevel >= 0 {
 		if !c.tr.Remove(target, leaf) {
 			panic(fmt.Sprintf("core: ring target %v vanished from level %d", target, targetLevel))
@@ -122,6 +123,7 @@ func (c *Controller) ringAccess(now uint64, leaf block.Leaf, target block.ID,
 		c.st.Leaves = append(c.st.Leaves, leaf)
 	}
 	done = readDone + c.o.OnChipLatency
+	c.st.PathLatency[ptype].Observe(done - now)
 
 	// Amortized eviction: every RingA reads, one full path. Evictions are
 	// the protocol's background work — they are issued behind this read

@@ -2,6 +2,7 @@ package core
 
 import (
 	"iroram/internal/block"
+	"iroram/internal/metrics"
 	"iroram/internal/stats"
 )
 
@@ -71,6 +72,51 @@ type Stats struct {
 	// no workload information. Off by default (it grows unboundedly).
 	RecordLeaves bool
 	Leaves       []block.Leaf
+
+	// PathLatency histograms the service latency (issue to data-available,
+	// in CPU cycles) of every path access, keyed by path type — the
+	// per-access-class latency distributions the observability layer
+	// exports. Observations are allocation-free (plain arrays).
+	PathLatency [block.NumPathTypes]metrics.Hist
+	// QueueDepth histograms the posted-write queue depth at each path
+	// issue — the controller-side queue pressure signal.
+	QueueDepth metrics.Hist
+
+	// Per-phase cycle accounting across all path accesses: PhaseReadCycles
+	// is DRAM read-phase service time (issue to last read block on the
+	// bus), PhaseWriteBackCycles is the posted write phase's bus occupancy
+	// beyond the read phase, and PhaseRemapCycles is the on-chip remap
+	// latency (OnChipLatency per remap). The eviction phase is
+	// BgEvictionCycles above. Remaps counts position-map remap operations.
+	PhaseReadCycles      uint64
+	PhaseWriteBackCycles uint64
+	PhaseRemapCycles     uint64
+	Remaps               uint64
+
+	// EpochInterval, when non-zero, appends one Epoch snapshot to Epochs
+	// every EpochInterval issued paths — the time-series view of a run.
+	// Off by default: enabling it trades the zero-allocation guarantee of
+	// the access path for periodic (amortized) snapshot appends.
+	EpochInterval uint64
+	Epochs        []Epoch
+}
+
+// Epoch is one periodic time-series sample of the controller's progress,
+// captured every Stats.EpochInterval issued paths (see sim.System.
+// SetEpochInterval). All values are cumulative since the start of the run.
+type Epoch struct {
+	// Paths is the total number of issued path accesses at capture time.
+	Paths uint64 `json:"paths"`
+	// Cycle is the simulated CPU cycle of the issue that closed the epoch.
+	Cycle uint64 `json:"cycle"`
+	// ByType is the cumulative per-type path-access count, indexed by
+	// block.PathType.
+	ByType [block.NumPathTypes]uint64 `json:"by_type"`
+	// Served is the cumulative count of completed LLC-side requests.
+	Served uint64 `json:"served"`
+	// StashLen is the F-Stash occupancy at capture time (a point sample,
+	// not cumulative).
+	StashLen int `json:"stash_len"`
 }
 
 func newStats(levels int) *Stats {

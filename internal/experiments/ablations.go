@@ -45,6 +45,7 @@ func SStashAssocAblation(opts Options, ways []int) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts.emitFlat(config.IRStashScheme().Name, benches, rows, flat)
 	speedups := make([]float64, len(ways))
 	for wi := range ways {
 		var sps []float64
@@ -80,6 +81,7 @@ func IntervalAblation(opts Options, intervals []uint64) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts.emitFlat(config.Baseline().Name, benches, rows, flat)
 	cycles := make([]float64, len(intervals))
 	dummyShare := make([]float64, len(intervals))
 	for ti := range intervals {
@@ -129,6 +131,7 @@ func MLPAblation(opts Options, mlps []int) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts.emitFlat(config.Baseline().Name, benches, rows, flat)
 	vals := make([]float64, len(mlps))
 	var ref float64
 	for mi, m := range mlps {
@@ -173,6 +176,7 @@ func PLBAblation(opts Options, entries []int) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	opts.emitFlat(config.Baseline().Name, benches, rows, flat)
 	pos := make([]float64, len(entries))
 	norm := make([]float64, len(entries))
 	var ref float64

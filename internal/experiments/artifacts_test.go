@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"iroram/internal/block"
+	"iroram/internal/core"
+	"iroram/internal/metrics"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden artifact files")
+
+// goldenRecord is a hand-built record exercising every Record field,
+// including a metrics snapshot and an epoch entry, with fixed values so the
+// encoded bytes pin the JSONL schema.
+func goldenRecord() Record {
+	var served uint64 = 298
+	var latency metrics.Hist
+	for _, v := range []uint64{130, 150, 196} {
+		latency.Observe(v)
+	}
+	levels := metrics.NewLinearHist(4)
+	levels.Add(2)
+	levels.Add(3)
+	levels.Add(3)
+
+	reg := metrics.NewRegistry()
+	reg.Counter("oram_served_requests", "requests", "completed requests", &served)
+	reg.Histogram("oram_path_latency_ptd", "cycles", "PTd latency", &latency)
+	reg.LinearHistogram("oram_hit_level", "levels", "hit level", levels)
+	reg.GaugeFunc("oram_stash_occupancy", "blocks", "stash occupancy",
+		func() float64 { return 1 })
+
+	return Record{
+		Schema:       SchemaVersion,
+		Figure:       "fig10",
+		Scheme:       "IR-ORAM",
+		Benchmark:    "mcf",
+		Label:        "L=14",
+		Seed:         1,
+		Requests:     300,
+		Cycles:       128838,
+		Instructions: 70500,
+		IPC:          0.5472,
+		ReadMPKI:     4.1986,
+		WriteMPKI:    0,
+		Metrics:      reg.Snapshot(),
+		Epochs: []core.Epoch{{
+			Paths:    200,
+			Cycle:    26256,
+			ByType:   [block.NumPathTypes]uint64{68, 68, 64},
+			Served:   68,
+			StashLen: 1,
+		}},
+	}
+}
+
+// TestRecordGolden byte-compares the JSONL encoding of a fully-populated
+// record against the committed golden file, then round-trips the golden
+// bytes through Record to prove the schema decodes losslessly. Regenerate
+// with `go test ./internal/experiments -run Golden -update` after an
+// intentional schema change (and bump SchemaVersion per docs/METRICS.md).
+func TestRecordGolden(t *testing.T) {
+	log := &ArtifactLog{}
+	log.Add(goldenRecord())
+	var buf bytes.Buffer
+	if err := log.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "record_golden.jsonl")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("encoded record drifted from golden schema\n got: %s\nwant: %s",
+			buf.Bytes(), want)
+	}
+
+	// Round trip: golden bytes -> Record -> identical bytes.
+	var rec Record
+	if err := json.Unmarshal(want, &rec); err != nil {
+		t.Fatalf("golden record does not decode: %v", err)
+	}
+	if rec.Schema != SchemaVersion {
+		t.Errorf("golden schema = %d, want %d", rec.Schema, SchemaVersion)
+	}
+	round := &ArtifactLog{}
+	round.Add(rec)
+	var buf2 bytes.Buffer
+	if err := round.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf2.Bytes(), want) {
+		t.Errorf("round trip not lossless\n got: %s\nwant: %s", buf2.Bytes(), want)
+	}
+}
+
+// TestArtifactsJobsInvariance runs the same sweep sequentially and with
+// four workers and requires byte-identical artifacts — the JSONL leg of
+// the engine's determinism contract.
+func TestArtifactsJobsInvariance(t *testing.T) {
+	encode := func(jobs int) []byte {
+		opts := Quick()
+		opts.Requests = 1000
+		opts.Jobs = jobs
+		opts.Figure = "fig10"
+		opts.EpochInterval = 500
+		opts.Artifacts = &ArtifactLog{}
+		if _, err := Fig10(opts); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := opts.Artifacts.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if opts.Artifacts.Len() == 0 {
+			t.Fatal("sweep emitted no artifact records")
+		}
+		return buf.Bytes()
+	}
+	seq := encode(1)
+	par := encode(4)
+	if !bytes.Equal(seq, par) {
+		t.Error("artifact bytes differ between -jobs 1 and -jobs 4")
+	}
+
+	// Every line must decode and carry the full schema.
+	lines := bytes.Split(bytes.TrimSuffix(seq, []byte("\n")), []byte("\n"))
+	for i, line := range lines {
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("record %d does not decode: %v", i, err)
+		}
+		if rec.Schema != SchemaVersion || rec.Figure != "fig10" ||
+			rec.Scheme == "" || rec.Benchmark == "" {
+			t.Errorf("record %d missing identity fields: %s", i, line)
+		}
+		if rec.Metrics == nil || rec.Metrics.Counters["sim_cycles"] != rec.Cycles {
+			t.Errorf("record %d metrics snapshot missing or inconsistent", i)
+		}
+		if len(rec.Epochs) == 0 {
+			t.Errorf("record %d has no epochs despite EpochInterval", i)
+		}
+	}
+}
+
+// TestWriteDirGroupsByFigure checks the one-sidecar-per-figure layout.
+func TestWriteDirGroupsByFigure(t *testing.T) {
+	log := &ArtifactLog{}
+	a := goldenRecord()
+	b := goldenRecord()
+	b.Figure = "table2"
+	log.Add(a)
+	log.Add(b)
+	log.Add(a)
+
+	dir := t.TempDir()
+	if err := log.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	for fig, wantLines := range map[string]int{"fig10": 2, "table2": 1} {
+		data, err := os.ReadFile(filepath.Join(dir, fig+".jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+		if len(lines) != wantLines {
+			t.Errorf("%s.jsonl has %d lines, want %d", fig, len(lines), wantLines)
+		}
+		for _, line := range lines {
+			var rec Record
+			if err := json.Unmarshal(line, &rec); err != nil {
+				t.Errorf("%s.jsonl line does not decode: %v", fig, err)
+			} else if rec.Figure != fig {
+				t.Errorf("%s.jsonl contains record for %q", fig, rec.Figure)
+			}
+		}
+	}
+}

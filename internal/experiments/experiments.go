@@ -51,6 +51,23 @@ type Options struct {
 	// Progress, when non-nil, observes per-batch cell completion. Drivers
 	// that fan several batches report each batch separately.
 	Progress func(runner.Progress)
+
+	// Artifacts, when non-nil, collects one JSONL Record per simulated
+	// cell (see artifacts.go). Records are appended after each batch
+	// completes, in cell-index order on the calling goroutine, so the
+	// artifact bytes are identical for every Jobs value. Drivers whose
+	// cells do not produce a full sim.Result (the utilization snapshots of
+	// Fig 3/4/13, the co-run latency probe, zsearch) emit nothing.
+	Artifacts *ArtifactLog
+	// Figure labels the records emitted into Artifacts; the facade's
+	// Experiment dispatcher sets it to the experiment name.
+	Figure string
+
+	// EpochInterval, when non-zero, enables periodic epoch snapshots every
+	// EpochInterval issued paths in each cell's System (time series in the
+	// artifact records). Off by default — it costs amortized allocations
+	// on the access path.
+	EpochInterval uint64
 }
 
 // Default returns the scaled full-fidelity options used by cmd/experiments.
@@ -104,15 +121,25 @@ func (o Options) runGrid(schemes []config.Scheme, benches []string) ([][]sim.Res
 	out := make([][]sim.Result, len(schemes))
 	for si := range schemes {
 		out[si] = flat[si*nb : (si+1)*nb]
+		for bi, b := range benches {
+			o.emit(schemes[si].Name, b, "", out[si][bi])
+		}
 	}
 	return out, nil
 }
 
 // runBenches evaluates one scheme across benches as one parallel batch.
 func (o Options) runBenches(sch config.Scheme, benches []string) ([]sim.Result, error) {
-	return mapCells(o, len(benches), func(i int) (sim.Result, error) {
+	rs, err := mapCells(o, len(benches), func(i int) (sim.Result, error) {
 		return o.runOne(sch, benches[i])
 	})
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range benches {
+		o.emit(sch.Name, b, "", rs[i])
+	}
+	return rs, nil
 }
 
 // cyclesOf projects a result row onto its cycle counts.
@@ -151,6 +178,7 @@ func (o Options) runOne(sch config.Scheme, bench string) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
+	s.SetEpochInterval(o.EpochInterval)
 	return s.Run(gen, o.Requests), nil
 }
 
@@ -167,6 +195,7 @@ func (o Options) runProfile(sch config.Scheme, prof config.ZProfile, bench strin
 	if err != nil {
 		return sim.Result{}, err
 	}
+	s.SetEpochInterval(o.EpochInterval)
 	return s.Run(gen, o.Requests), nil
 }
 

@@ -300,6 +300,7 @@ func Fig12(opts Options) (*stats.Table, error) {
 		bgShare := make([]float64, nb)
 		for i := 0; i < nb; i++ {
 			res := flat[pi*nb+i]
+			opts.emit(config.IRAllocScheme().Name, benches[i], p.name, res)
 			norm[i] = float64(res.Cycles) / base[i]
 			if res.Cycles > 0 {
 				bgShare[i] = float64(res.ORAM.BgEvictionCycles) / float64(res.Cycles)
@@ -424,6 +425,15 @@ func Fig16(opts Options, seeds int) (*stats.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	for i, c := range cells {
+		o := opts
+		o.Seed = c.seed
+		name := config.Baseline().Name
+		if c.alloc {
+			name = config.IRAllocScheme().Name
+		}
+		o.emit(name, "random", fmt.Sprintf("L=%d", c.levels), results[i])
+	}
 	mean := make([]float64, 0, len(deltas))
 	dev := make([]float64, 0, len(deltas))
 	for di := range deltas {
@@ -467,6 +477,11 @@ func NoTimingProtection(opts Options) (*stats.Table, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	for vi, v := range variants {
+		for i, b := range benches {
+			opts.emit(v.sch.Name, b, fmt.Sprintf("T=%d", v.interval), flat[vi*nb+i])
+		}
 	}
 	row := func(vi int) []float64 { return cyclesOf(flat[vi*nb : (vi+1)*nb]) }
 	withTP := speedups(row(0), row(1))

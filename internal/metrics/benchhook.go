@@ -1,0 +1,20 @@
+package metrics
+
+import "testing"
+
+// ObserveBenchmark measures Hist.Observe, the one metrics operation on the
+// simulator's access path. cmd/benchjson runs it programmatically and
+// `make alloccheck` gates it at 0 allocs/op — the registry design promises
+// that instrumentation never allocates in steady state, and this is the
+// benchmark that enforces it.
+func ObserveBenchmark(b *testing.B) {
+	var h Hist
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+	if h.Count() == 0 {
+		b.Fatal("metrics: no observations recorded")
+	}
+}

@@ -1,0 +1,42 @@
+package metrics_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"iroram/internal/metrics"
+)
+
+// ExampleRegistry shows the intended wiring: instruments live as plain
+// fields in the component they measure and are updated directly (the
+// zero-allocation hot path); the registry binds them to names once at
+// construction and is consulted only to describe or snapshot them.
+func ExampleRegistry() {
+	// The component's own state: a counter and a latency histogram.
+	var served uint64
+	var latency metrics.Hist
+
+	reg := metrics.NewRegistry()
+	reg.Counter("demo_served", "requests", "requests served", &served)
+	reg.Histogram("demo_latency", "cycles", "request latency", &latency)
+	reg.GaugeFunc("demo_backlog", "requests", "queued requests",
+		func() float64 { return 3 })
+
+	// Hot path: direct field updates, no registry involvement.
+	for _, cycles := range []uint64{100, 120, 1000} {
+		served++
+		latency.Observe(cycles)
+	}
+
+	for _, d := range reg.Descs() {
+		fmt.Printf("%s (%s, %s): %s\n", d.Name, d.Kind, d.Unit, d.Help)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.Encode(reg.Snapshot())
+	// Output:
+	// demo_backlog (gauge, requests): queued requests
+	// demo_latency (histogram, cycles): request latency
+	// demo_served (counter, requests): requests served
+	// {"counters":{"demo_served":3},"gauges":{"demo_backlog":3},"histograms":{"demo_latency":{"count":3,"sum":1220,"min":100,"max":1000,"buckets":[{"lo":64,"hi":127,"n":2},{"lo":512,"hi":1023,"n":1}]}}}
+}

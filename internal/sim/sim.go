@@ -19,6 +19,16 @@
 // trace.Generator, a run is bit-reproducible: all randomness flows from
 // rng.New(cfg.Seed) streams owned by this System. That is what lets the
 // experiment harness promise byte-identical tables for every worker count.
+//
+// # Zero-allocation contract
+//
+// Step and everything it calls — LLC access, path issue and service, DRAM
+// timing, metric updates — must not allocate in steady state
+// (TestPathAccessZeroAllocs, `make alloccheck`). The observability layer
+// respects this: every instrument is a plain field updated in place, the
+// metrics.Registry is consulted only at construction and Snapshot time,
+// and the opt-in epoch time series (SetEpochInterval) is the one feature
+// allowed to allocate, which is why it defaults to off.
 package sim
 
 import (
@@ -27,6 +37,7 @@ import (
 	"iroram/internal/config"
 	"iroram/internal/core"
 	"iroram/internal/dram"
+	"iroram/internal/metrics"
 	"iroram/internal/rng"
 	"iroram/internal/trace"
 )
@@ -39,6 +50,7 @@ type System struct {
 	ctrl    *core.Controller
 	issuer  *core.Issuer
 	scanner *cache.DWBScanner
+	reg     *metrics.Registry
 
 	now          uint64
 	lastDone     uint64
@@ -48,6 +60,12 @@ type System struct {
 	readMisses   uint64
 	writeMisses  uint64
 	dirtyWBs     uint64
+
+	// missLatency and outstandingDepth are observed inline in Step; Hist
+	// observations are plain array increments, preserving the steady-state
+	// zero-allocation contract of the access path.
+	missLatency      metrics.Hist
+	outstandingDepth metrics.Hist
 }
 
 // llcDWB adapts the LLC to the controller's DWBSource interface. In
@@ -103,6 +121,10 @@ func New(cfg config.System) (*System, error) {
 	}
 	s.issuer = core.NewIssuer(ctrl, llcDWB{llc: llc, scan: scanner,
 		proactive: cfg.Scheme.ProactiveRemap})
+	s.reg = metrics.NewRegistry()
+	ctrl.RegisterMetrics(s.reg)
+	s.issuer.RegisterMetrics(s.reg)
+	s.registerMetrics()
 	return s, nil
 }
 
@@ -147,7 +169,9 @@ func (s *System) Step(req trace.Request) {
 		s.now = s.issuer.PostWrite(s.now, block.ID(victim.Addr))
 	}
 	done := s.issuer.ReadBlock(s.now, block.ID(req.Addr))
+	s.missLatency.Observe(done - s.now)
 	s.outstanding = append(s.outstanding, done)
+	s.outstandingDepth.Observe(uint64(len(s.outstanding)))
 	if done > s.lastDone {
 		s.lastDone = done
 	}
@@ -230,6 +254,10 @@ type Result struct {
 	ORAM         core.Stats
 	DRAM         dram.Stats
 	LLC          cache.Stats
+
+	// Metrics is the full registry snapshot at capture time — the record
+	// the JSONL artifact emitter serializes (docs/METRICS.md).
+	Metrics *metrics.Snapshot
 }
 
 // Result captures the current counters without consuming more trace.
@@ -249,6 +277,7 @@ func (s *System) Result(name string) Result {
 		ORAM:         *s.ctrl.Stats(),
 		DRAM:         s.mem.Stats(),
 		LLC:          s.llc.Stats(),
+		Metrics:      s.reg.Snapshot(),
 	}
 }
 

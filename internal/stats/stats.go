@@ -2,6 +2,14 @@
 // counters by type (Fig 2, 15), per-level histograms (Fig 6), utilization
 // snapshots (Fig 3, 4, 13), and simple text/CSV tables used by the
 // experiment harness.
+//
+// The raw instruments are built on internal/metrics — LevelHist is the
+// metrics.LinearHist primitive, and every counter here is registered into a
+// metrics.Registry by the component that owns it (see core.Stats and
+// internal/sim), which is what makes the JSONL metric dumps and the
+// docs/METRICS.md self-description possible. The instruments inherit the
+// metrics package's contracts: allocation-free updates on the access path,
+// and fully deterministic values for a given seed.
 package stats
 
 import (
@@ -11,6 +19,7 @@ import (
 	"strings"
 
 	"iroram/internal/block"
+	"iroram/internal/metrics"
 )
 
 // PathCounters tallies path accesses by type, plus the DRAM block traffic
@@ -56,39 +65,14 @@ func (c *PathCounters) Merge(other PathCounters) {
 	c.BlocksWrit += other.BlocksWrit
 }
 
-// LevelHist is a histogram indexed by tree level.
-type LevelHist struct {
-	Counts []uint64
-}
+// LevelHist is a histogram indexed by tree level — the metrics package's
+// linear histogram under its historical name (Add increments level l;
+// Total and FractionUpTo summarize the mass).
+type LevelHist = metrics.LinearHist
 
 // NewLevelHist returns a histogram for levels levels.
 func NewLevelHist(levels int) *LevelHist {
-	return &LevelHist{Counts: make([]uint64, levels)}
-}
-
-// Add increments level l.
-func (h *LevelHist) Add(l int) { h.Counts[l]++ }
-
-// Total returns the histogram mass.
-func (h *LevelHist) Total() uint64 {
-	var n uint64
-	for _, c := range h.Counts {
-		n += c
-	}
-	return n
-}
-
-// FractionUpTo returns the share of mass at levels [0, l].
-func (h *LevelHist) FractionUpTo(l int) float64 {
-	total := h.Total()
-	if total == 0 {
-		return 0
-	}
-	var n uint64
-	for i := 0; i <= l && i < len(h.Counts); i++ {
-		n += h.Counts[i]
-	}
-	return float64(n) / float64(total)
+	return metrics.NewLinearHist(levels)
 }
 
 // UtilSnapshot is one utilization-per-level measurement (Fig 3): the ratio

@@ -1,0 +1,73 @@
+// Package telemetry serves live run snapshots over HTTP as expvar-style
+// JSON. The server owns no simulation state and never touches a System: the
+// driver publishes pre-serialized snapshots from its own goroutine (the
+// serialized progress-callback path), and HTTP handlers only copy the last
+// published payload. That keeps the single-goroutine-per-System contract
+// intact — the only synchronization is the server's own payload mutex.
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Server publishes JSON snapshots at GET / (and /snapshot). The zero value
+// is not usable; construct with Start.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu      sync.Mutex
+	payload []byte
+}
+
+// Start listens on addr (e.g. ":8080" or "127.0.0.1:0") and serves the last
+// published snapshot. It returns once the listener is bound; the accept
+// loop runs on a background goroutine until Close.
+func Start(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, payload: []byte("{}\n")}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handle)
+	mux.HandleFunc("/snapshot", s.handle)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Publish marshals v and installs it as the snapshot served to subsequent
+// requests. Marshalling happens at call time on the caller's goroutine, so
+// v may be (a view of) single-goroutine simulation state: by the time
+// Publish returns, the server holds only bytes and v is no longer referenced.
+func (s *Server) Publish(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	s.mu.Lock()
+	s.payload = b
+	s.mu.Unlock()
+	return nil
+}
+
+// Close stops the listener. In-flight handlers finish against their own
+// payload copy.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handle(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	b := s.payload
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b) //nolint:errcheck // best-effort response
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func get(t *testing.T, url string) (string, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return resp.Header.Get("Content-Type"), body
+}
+
+func TestServeBeforeFirstPublish(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, path := range []string{"/", "/snapshot"} {
+		ct, body := get(t, "http://"+s.Addr()+path)
+		if ct != "application/json" {
+			t.Errorf("%s: Content-Type = %q, want application/json", path, ct)
+		}
+		if string(body) != "{}\n" {
+			t.Errorf("%s: body = %q before first publish, want {}\\n", path, body)
+		}
+	}
+}
+
+func TestPublishThenGet(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	type snap struct {
+		Done  int `json:"done"`
+		Total int `json:"total"`
+	}
+	if err := s.Publish(snap{Done: 3, Total: 12}); err != nil {
+		t.Fatal(err)
+	}
+	_, body := get(t, "http://"+s.Addr()+"/snapshot")
+	var got snap
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatalf("decoding %q: %v", body, err)
+	}
+	if got.Done != 3 || got.Total != 12 {
+		t.Errorf("got %+v, want {3 12}", got)
+	}
+}
+
+func TestPublishMarshalErrorKeepsPayload(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Publish(map[string]int{"ok": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Publish(make(chan int)); err == nil {
+		t.Fatal("Publish(chan) did not error")
+	}
+	_, body := get(t, "http://"+s.Addr()+"/")
+	if string(body) != "{\"ok\":1}\n" {
+		t.Errorf("payload after failed publish = %q, want previous snapshot", body)
+	}
+}
+
+// TestConcurrentPublishAndGet hammers the server with publishers and
+// readers at once — the shape of a sweep where cells complete on the
+// progress callback while an external poller scrapes /snapshot. Every
+// response must be one complete, well-formed published snapshot (or the
+// initial {}), never a torn mix. Run under -race this also proves the
+// payload handoff is properly synchronized.
+func TestConcurrentPublishAndGet(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const publishers, perPublisher, readers, reads = 4, 50, 4, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, publishers+readers)
+
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				if err := s.Publish(map[string]int{"cell": p*perPublisher + i}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(p)
+	}
+	url := "http://" + s.Addr() + "/snapshot"
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < reads; i++ {
+				resp, err := http.Get(url)
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				var v map[string]int
+				if err := json.Unmarshal(body, &v); err != nil {
+					errs <- fmt.Errorf("torn or invalid snapshot %q: %w", body, err)
+					return
+				}
+				if cell, ok := v["cell"]; ok && (cell < 0 || cell >= publishers*perPublisher) {
+					errs <- fmt.Errorf("snapshot %q was never published", body)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -3,6 +3,7 @@ package iroram
 import (
 	"iroram/internal/config"
 	"iroram/internal/experiments"
+	"iroram/internal/metrics"
 	"iroram/internal/obliv"
 	"iroram/internal/runner"
 	"iroram/internal/sim"
@@ -109,6 +110,20 @@ func MixTrace(universe, seed uint64) TraceGenerator {
 	return trace.PaperMix(universe, seed)
 }
 
+// NewTrace returns the generator for a named workload: "mix", "random", or
+// a Table II benchmark (see Benchmarks) over a protected space of universe
+// blocks.
+func NewTrace(name string, universe, seed uint64) (TraceGenerator, error) {
+	switch name {
+	case "mix":
+		return MixTrace(universe, seed), nil
+	case "random":
+		return RandomTrace(universe, 0.5, seed), nil
+	default:
+		return trace.Benchmark(name, universe, seed)
+	}
+}
+
 // RunBenchmark is the one-call convenience: build a system for cfg, run the
 // named workload ("mix", "random", or a Table II benchmark) for requests
 // records, and return the result.
@@ -117,18 +132,9 @@ func RunBenchmark(cfg Config, benchmark string, requests int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	var gen TraceGenerator
-	switch benchmark {
-	case "mix":
-		gen = MixTrace(cfg.ORAM.DataBlocks(), cfg.Seed)
-	case "random":
-		gen = RandomTrace(cfg.ORAM.DataBlocks(), 0.5, cfg.Seed)
-	default:
-		g, err := trace.Benchmark(benchmark, cfg.ORAM.DataBlocks(), cfg.Seed)
-		if err != nil {
-			return Result{}, err
-		}
-		gen = g
+	gen, err := NewTrace(benchmark, cfg.ORAM.DataBlocks(), cfg.Seed)
+	if err != nil {
+		return Result{}, err
 	}
 	return sys.Run(gen, requests), nil
 }
@@ -159,6 +165,47 @@ func DefaultExperiments() ExperimentOptions { return experiments.Default() }
 
 // QuickExperiments returns reduced options for smoke runs and benchmarks.
 func QuickExperiments() ExperimentOptions { return experiments.Quick() }
+
+// MetricDesc describes one registered instrument: name, unit, help text and
+// kind. The name set and meanings are the JSONL artifact schema documented
+// in docs/METRICS.md.
+type MetricDesc = metrics.Desc
+
+// MetricsSnapshot is a point-in-time copy of every registered instrument,
+// as embedded in Result.Metrics and in JSONL artifact records.
+type MetricsSnapshot = metrics.Snapshot
+
+// MetricDescriptors returns the full instrument catalogue of a System —
+// the registry's self-description, sorted by name. The set is identical
+// for every configuration (scheme-specific counters simply stay zero), so
+// any valid config describes the schema; `make docscheck` validates
+// docs/METRICS.md against it.
+func MetricDescriptors() []MetricDesc {
+	sys, err := NewSystem(TinyConfig())
+	if err != nil {
+		panic("iroram: TinyConfig no longer constructs: " + err.Error())
+	}
+	return sys.Metrics().Descs()
+}
+
+// ArtifactSchemaVersion is the JSONL artifact schema version (the "schema"
+// field of every record).
+const ArtifactSchemaVersion = experiments.SchemaVersion
+
+// ArtifactRecord is one JSONL artifact line: the full metric dump of one
+// simulated (figure, scheme, benchmark) cell. See docs/METRICS.md.
+type ArtifactRecord = experiments.Record
+
+// ArtifactLog accumulates artifact records during a sweep and writes them
+// as JSONL sidecar files; attach one to ExperimentOptions.Artifacts. It is
+// single-goroutine, like everything on the driver's calling path.
+type ArtifactLog = experiments.ArtifactLog
+
+// NewArtifactRecord assembles an artifact record from one run result; the
+// figure field names the producing driver (cmd/irsim uses "irsim").
+func NewArtifactRecord(figure, scheme, bench, label string, seed uint64, r Result) ArtifactRecord {
+	return experiments.NewRecord(figure, scheme, bench, label, seed, r)
+}
 
 // ObliviousStoreConfig sizes a functional oblivious store.
 type ObliviousStoreConfig = obliv.Config
