@@ -13,9 +13,10 @@
 #                   registry's self-description both ways
 #   make check      all of the above — the documented verification flow
 #   make bench      benchmark harness (one benchmark per paper figure)
-#   make benchjson  performance-trajectory snapshot (BENCH_pr6.json); fails
-#                   if the quick fig10 gmeans drift from BENCH_pr4.json
-#   make benchcmp   compare BENCH_pr6.json against BENCH_pr4.json: fails on
+#   make benchjson  performance-trajectory snapshot (BENCH_pr7.json, min of
+#                   5 reps per benchmark); fails if the quick fig10 gmeans
+#                   drift from BENCH_pr6.json
+#   make benchcmp   compare BENCH_pr7.json against BENCH_pr6.json: fails on
 #                   >10% ns/op regression or any metric drift
 #   make profile    CPU+heap profile of a quick fig10 regeneration
 
@@ -47,10 +48,10 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 benchjson:
-	$(GO) run ./cmd/benchjson -out BENCH_pr6.json -baseline BENCH_pr4.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr7.json -baseline BENCH_pr6.json
 
 benchcmp:
-	$(GO) run ./cmd/benchjson -diff BENCH_pr6.json -against BENCH_pr4.json
+	$(GO) run ./cmd/benchjson -diff BENCH_pr7.json -against BENCH_pr6.json
 
 profile:
 	$(GO) run ./cmd/experiments -fig fig10 -quick -progress=false \

@@ -6,9 +6,11 @@
 //
 // Usage:
 //
-//	benchjson -out BENCH_pr6.json          # write the snapshot (make benchjson);
+//	benchjson -out BENCH_pr7.json          # write the snapshot (make benchjson);
 //	                                       # -baseline pins the fig10 gmeans to the
-//	                                       # previous PR's to machine precision
+//	                                       # previous PR's to machine precision;
+//	                                       # -reps N (default 5) repeats each wall-
+//	                                       # clock benchmark and keeps the minimum
 //	benchjson -check                       # gate: fail if any zero-alloc hot-path
 //	                                       # benchmark allocates (make alloccheck)
 //	benchjson -diff NEW -against OLD       # gate: fail on >10% ns/op regression or
@@ -39,6 +41,11 @@ type benchEntry struct {
 }
 
 type report struct {
+	// Reps is how many repetitions each wall-clock benchmark ran; the
+	// recorded entry is the minimum ns/op over them (the run least
+	// disturbed by the host), which keeps the 10% benchcmp gate from
+	// tripping on scheduler noise.
+	Reps int `json:"reps"`
 	// Benchmarks are wall-clock microbenchmarks; they vary run to run with
 	// the host, unlike Metrics, which are deterministic simulation outputs.
 	Benchmarks map[string]benchEntry `json:"benchmarks"`
@@ -69,9 +76,11 @@ func main() {
 
 func run() int {
 	var (
-		out   = flag.String("out", "BENCH_pr6.json", "output file")
+		out   = flag.String("out", "BENCH_pr7.json", "output file")
 		check = flag.Bool("check", false,
 			"only verify that the hot-path benchmarks perform 0 allocs/op; no file is written")
+		reps = flag.Int("reps", 5,
+			"repetitions per wall-clock benchmark; the minimum ns/op is recorded")
 		baseline = flag.String("baseline", "",
 			"previous PR's snapshot; the deterministic metrics must match it exactly")
 		diff = flag.String("diff", "",
@@ -103,15 +112,20 @@ func run() int {
 		return 0
 	}
 
+	if *reps < 1 {
+		*reps = 1
+	}
 	rep := report{
+		Reps: *reps,
 		Benchmarks: map[string]benchEntry{
-			"ServiceBatch": toEntry(testing.Benchmark(benchServiceBatch)),
-			"ServicePath":  toEntry(testing.Benchmark(benchServicePath)),
+			"ServiceBatch": benchMin(benchServiceBatch, *reps),
+			"ServicePath":  benchMin(benchServicePath, *reps),
+			"ServiceRuns":  benchMin(benchServiceRuns, *reps),
 		},
 		Metrics: map[string]float64{},
 	}
 	for _, bm := range zeroAllocBenchmarks {
-		rep.Benchmarks[bm.name] = toEntry(testing.Benchmark(bm.fn))
+		rep.Benchmarks[bm.name] = benchMin(bm.fn, *reps)
 	}
 
 	opts := iroram.QuickExperiments()
@@ -232,6 +246,18 @@ func toEntry(r testing.BenchmarkResult) benchEntry {
 	}
 }
 
+// benchMin runs a benchmark reps times and keeps the repetition with the
+// lowest ns/op — the one least disturbed by the host.
+func benchMin(fn func(*testing.B), reps int) benchEntry {
+	best := toEntry(testing.Benchmark(fn))
+	for i := 1; i < reps; i++ {
+		if e := toEntry(testing.Benchmark(fn)); e.NsPerOp < best.NsPerOp {
+			best = e
+		}
+	}
+	return best
+}
+
 // benchPathAccess mirrors BenchmarkPathAccess in bench_test.go: end-to-end
 // demand accesses (PLB misses and all) on the tiny geometry, warmed up so
 // the steady state is measured.
@@ -281,5 +307,23 @@ func benchServicePath(b *testing.B) {
 	var now uint64
 	for i := 0; i < b.N; i++ {
 		now = m.ServicePath(now, phys, 0, false)
+	}
+}
+
+// benchServiceRuns measures the schedule-cache hit path: the run list is
+// built once (what PathSched memoizes per leaf) and only serviced per
+// access, skipping address decomposition entirely.
+func benchServiceRuns(b *testing.B) {
+	m := dram.New(config.Scaled().DRAM)
+	phys := make([]uint64, 44)
+	for i := range phys {
+		phys[i] = uint64(i * 37)
+	}
+	runs := m.AppendRuns(phys, 0, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var now uint64
+	for i := 0; i < b.N; i++ {
+		now = m.ServiceRuns(now, runs, false)
 	}
 }

@@ -43,7 +43,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
 	var (
 		fig      = flag.String("fig", "all", "experiment: table2, fig2..fig16, notp, zsearch, or all")
 		requests = flag.Int("requests", 30000, "trace records per run")
@@ -76,7 +76,16 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		return 2
 	}
-	defer stopProf()
+	// A profile that failed to flush is worse than none: it looks like a
+	// successful run but lies to pprof. Surface it and fail the command.
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -32,7 +32,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
 	var (
 		scheme   = flag.String("scheme", "Baseline", "scheme: Baseline, Rho, IR-Alloc, IR-Stash, IR-DWB, IR-ORAM, LLC-D")
 		bench    = flag.String("bench", "mix", `workload: a Table II benchmark, "mix", or "random"`)
@@ -63,7 +63,16 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "irsim: %v\n", err)
 		return 2
 	}
-	defer stopProf()
+	// A profile that failed to flush is worse than none: it looks like a
+	// successful run but lies to pprof. Surface it and fail the command.
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintf(os.Stderr, "irsim: %v\n", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	if *compare {
 		return runComparison(*bench, *requests, *levels, *seed, *emitMode, *out, *epochs)

@@ -127,13 +127,16 @@ func (c *Controller) PathStep(now uint64, j Job) (completed bool, done uint64) {
 	if !leaf.Valid() {
 		panic(fmt.Sprintf("core: PathStep for unmapped block %v (ServeOnChip should have handled it)", a))
 	}
-	// Main-tree data access.
-	if lvl, ok := c.tr.Find(a, leaf); ok {
-		c.st.HitLevels.Add(lvl)
-	}
-	found, done := c.treeAccess(now, leaf, a, block.PathData)
+	// Main-tree data access. The access itself reports the level the block
+	// was read from (discovered during the gather walk — no separate
+	// tree.Find walk); top-segment finds report -1, matching tree.Find's
+	// memory-levels-only histogram.
+	found, lvl, done := c.treeAccess(now, leaf, a, block.PathData)
 	if !found {
 		panic(fmt.Sprintf("core: block %v not on its path %d (tree corrupted)", a, leaf))
+	}
+	if lvl >= 0 {
+		c.st.HitLevels.Add(lvl)
 	}
 	if c.cfg.Scheme.DelayedRemap && !j.Write {
 		// LLC-D: discard the mapping; the block now lives only in the LLC
@@ -189,7 +192,7 @@ func (c *Controller) fetchPosBlock(now uint64, u block.ID, ptype block.PathType,
 	if !parked && c.top != nil {
 		parked = c.top.Remove(u, leaf)
 	}
-	found, done := c.treeAccess(now, leaf, u, ptype)
+	found, _, done := c.treeAccess(now, leaf, u, ptype)
 	if !found && !parked {
 		panic(fmt.Sprintf("core: PosMap block %v not on its path %d", u, leaf))
 	}
@@ -260,7 +263,7 @@ func (c *Controller) dwbStep(now uint64, a block.ID, stage int) (newStage int, d
 				return 0, now, false // tree-top resident: on-chip update
 			}
 		}
-		found, done := c.treeAccess(now, leaf, a, block.PathDWB)
+		found, _, done := c.treeAccess(now, leaf, a, block.PathDWB)
 		if !found {
 			panic(fmt.Sprintf("core: DWB target %v not on its path", a))
 		}

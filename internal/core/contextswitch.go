@@ -30,7 +30,7 @@ func (c *Controller) ContextSwitch(now uint64) uint64 {
 			if c.fstash.Len() == 0 {
 				break
 			}
-			_, d := c.treeAccess(done, leaf, block.Invalid, block.PathEvict)
+			_, _, d := c.treeAccess(done, leaf, block.Invalid, block.PathEvict)
 			done = d
 			c.st.BgEvictions++
 		}

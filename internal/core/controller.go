@@ -62,6 +62,18 @@ type Controller struct {
 	rho  *rhoState  // non-nil when the ρ scheme is active
 	ring *ringState // non-nil when the Ring ORAM protocol is active
 
+	// sched memoizes the main tree's per-leaf DRAM run lists (nil when
+	// disabled via config.DRAM.PathSchedSlots); nPathBlocks is the fixed
+	// per-path block count of the main tree, so the hot path never needs
+	// the address list just to know its length.
+	sched       *dram.PathSched
+	nPathBlocks int
+
+	// refPipeline routes pathAccess through the retained multi-walk,
+	// per-address reference implementation (access_reference.go). Tests
+	// flip it to pin the fused pipeline differentially.
+	refPipeline bool
+
 	// Scratch buffers reused across path accesses, so the steady-state hot
 	// path allocates nothing (guarded by TestPathAccessZeroAllocs and the
 	// make-check benchmark gate).
@@ -71,7 +83,18 @@ type Controller struct {
 	readBuf   []tree.Entry   // read-phase entries (tree + top segment)
 	evictList [][]tree.Entry // per-level candidates for evictOntoPath
 	evictBuf  []tree.Entry   // eviction candidate pool / spillover
+	gathered  []tree.Entry   // read-walk scratch: path blocks bound for the drain
 	placeMain func(tree.Entry, int) // recordMigration adapter, built once
+
+	// Fused-gather state: gatherMain/gatherRho are built once and walk the
+	// tree + top segment of a path, moving blocks straight into the stash
+	// while watching for gTarget — the single-walk replacement for the
+	// ReadPath-into-buffer-then-scan shape the reference keeps.
+	gatherMain func(tree.Entry, int)
+	gatherRho  func(tree.Entry, int)
+	gTarget    block.ID
+	gFound     bool
+	gLevel     int
 }
 
 // NewController builds and initializes a controller: the position map is
@@ -104,6 +127,33 @@ func NewController(cfg config.System, mem *dram.Model, r *rng.Source) (*Controll
 	}
 	c.fetched = newEpochSet(int(c.pm.Total()))
 	c.placeMain = func(e tree.Entry, level int) { c.recordMigration(e.Addr, level) }
+	c.nPathBlocks = o.Z.BlocksPerPath(minLevel)
+	c.sched = newPathSched(mem, cfg.DRAM.PathSchedSlots, o.LeafCount(), c.nPathBlocks, 0)
+	// The gather closures stage path blocks in c.gathered instead of
+	// inserting them into the stash: the eviction drain that runs one walk
+	// later would take them right back out, and the index round-trip (a
+	// hash insert plus a swap-maintaining removal per block) is the single
+	// largest per-path cost the fused pipeline eliminates. DrainForPath
+	// folds the staged blocks in with the exact ordering the insert/remove
+	// sequence would have produced.
+	c.gatherMain = func(e tree.Entry, level int) {
+		c.fetched.Add(e.Addr)
+		if e.Addr == c.gTarget {
+			c.gFound = true
+			if level >= c.minLevel {
+				c.gLevel = level
+			}
+			return
+		}
+		c.gathered = append(c.gathered, e)
+	}
+	c.gatherRho = func(e tree.Entry, level int) {
+		if e.Addr == c.gTarget {
+			c.gFound = true
+			return
+		}
+		c.gathered = append(c.gathered, e)
+	}
 	switch cfg.Scheme.Top {
 	case config.TopDedicated:
 		c.top = stash.NewTopCache(o.Levels, o.TopLevels, o.Z)
@@ -187,10 +237,43 @@ func (c *Controller) randomLeaf() block.Leaf {
 	return block.Leaf(c.rng.Uint64n(c.o.LeafCount()))
 }
 
+// defaultSchedSlots caps the auto-sized schedule cache: 8192 slots of
+// scaled-geometry run lists are ~1.5 MB — enough to make repeat leaves and
+// warm benchmark loops all-hit without scaling storage with the tree.
+const defaultSchedSlots = 8192
+
+// newPathSched resolves the PathSchedSlots knob for one tree: 0 sizes the
+// cache at min(defaultSchedSlots, leaves), negative disables it.
+func newPathSched(mem *dram.Model, knob int, leaves uint64, blocksPerPath int, off uint64) *dram.PathSched {
+	if knob < 0 {
+		return nil
+	}
+	slots := uint64(defaultSchedSlots)
+	if knob > 0 {
+		slots = uint64(knob)
+	}
+	if slots > leaves {
+		slots = leaves
+	}
+	return mem.NewPathSched(int(slots), blocksPerPath, off)
+}
+
+// pathRuns returns the memoized DRAM run list for leaf, building and
+// installing it on a cache miss (the only case that still generates the
+// path's physical address list).
+func (c *Controller) pathRuns(leaf block.Leaf) []dram.Run {
+	if runs, ok := c.sched.Lookup(uint64(leaf)); ok {
+		return runs
+	}
+	c.physBuf = c.layout.PathPhys(leaf, c.physBuf[:0])
+	return c.sched.Install(uint64(leaf), c.physBuf)
+}
+
 // pathAccess is the protocol primitive: read phase (DRAM batch + on-chip
 // segment), stash fill, then the greedy deepest-first write phase. target
 // (if valid) is extracted instead of being stashed; found reports whether
-// it was on the path.
+// it was on the path, and foundLevel is the memory-resident level it was
+// read from (-1 when absent or found in the on-chip top segment).
 //
 // The returned time is when the requested block is available — the read
 // phase plus the fixed decrypt/authenticate latency. The write phase is
@@ -198,47 +281,67 @@ func (c *Controller) randomLeaf() block.Leaf {
 // path access naturally queues behind it on the channel buses, so in
 // steady state the controller is limited by exactly the per-path block
 // traffic that IR-Alloc reduces.
+//
+// This is the fused single-walk pipeline: the DRAM read phase is charged
+// from the memoized per-leaf run list, one walk over the path moves every
+// block straight into the stash (recording the target's level in passing,
+// where the reference shape pays a separate tree.Find walk), the eviction
+// walk refills it, and the write phase posts from the same run list. The
+// multi-walk, per-address shape is retained in access_reference.go and
+// pinned against this one by TestFusedPipelineMatchesReference.
 func (c *Controller) pathAccess(now uint64, leaf block.Leaf, target block.ID,
-	ptype block.PathType) (found bool, done uint64) {
-	// Read phase: the memory segment of the path, serviced straight from
-	// the physical address list (no []dram.Access rebuild).
-	c.physBuf = c.layout.PathPhys(leaf, c.physBuf[:0])
-	readDone := c.mem.ServicePath(now, c.physBuf, 0, false)
+	ptype block.PathType) (found bool, foundLevel int, done uint64) {
+	if c.refPipeline {
+		return c.pathAccessReference(now, leaf, target, ptype)
+	}
+	// Read phase: the memory segment of the path, serviced in run-length
+	// form (no address list, no per-address decomposition on repeat leaves).
+	var readDone uint64
+	var runs []dram.Run
+	if c.sched != nil {
+		runs = c.pathRuns(leaf)
+		readDone = c.mem.ServiceRuns(now, runs, false)
+	} else {
+		c.physBuf = c.layout.PathPhys(leaf, c.physBuf[:0])
+		readDone = c.mem.ServicePath(now, c.physBuf, 0, false)
+	}
 	c.st.PhaseReadCycles += readDone - now
 
+	// Walk 1: gather. Every real block on the path moves straight into the
+	// stash (or is extracted, if it is the target) as it is removed.
 	c.fetched.Reset()
-	c.readBuf = c.tr.ReadPath(leaf, c.readBuf[:0])
+	c.gathered = c.gathered[:0]
+	c.gTarget, c.gFound, c.gLevel = target, false, -1
+	c.tr.ReadPathEach(leaf, c.gatherMain)
 	if c.top != nil {
-		c.readBuf = c.top.ReadPath(leaf, c.readBuf)
+		c.top.ReadPathEach(leaf, c.gatherMain)
 	}
-	for _, e := range c.readBuf {
-		c.fetched.Add(e.Addr)
-		if e.Addr == target {
-			found = true
-			continue
-		}
-		c.fstash.Insert(e)
-	}
+	found, foundLevel = c.gFound, c.gLevel
 
-	// Write phase: single-pass deepest-first eviction, memory levels bulk
+	// Walk 2: single-pass deepest-first eviction, memory levels bulk
 	// filled and the on-chip segment honoring S-Stash conflict refusals
 	// ("skip picking this block for this round"). See eviction.go.
 	c.evictBuf = evictOntoPath(c.fstash, c.tr, c.top, c.o.Z, c.minLevel,
-		c.o.Levels, leaf, c.evictList, c.evictBuf, c.placeMain)
+		c.o.Levels, leaf, c.gathered, c.evictList, c.evictBuf, c.placeMain)
 
 	// Write phase DRAM traffic: the same physical blocks, written. The
 	// batch is posted (its completion time is not waited on); it occupies
 	// the channel buses and delays whatever issues next.
-	writeDone := c.mem.PostWritePath(readDone, c.physBuf, 0)
+	var writeDone uint64
+	if runs != nil {
+		writeDone = c.mem.PostWriteRuns(readDone, runs)
+	} else {
+		writeDone = c.mem.PostWritePath(readDone, c.physBuf, 0)
+	}
 	c.st.PhaseWriteBackCycles += writeDone - readDone
 
-	c.st.Paths.Add(ptype, len(c.physBuf), len(c.physBuf))
+	c.st.Paths.Add(ptype, c.nPathBlocks, c.nPathBlocks)
 	done = readDone + c.o.OnChipLatency
 	c.st.PathLatency[ptype].Observe(done - now)
 	if c.st.RecordLeaves {
 		c.st.Leaves = append(c.st.Leaves, leaf)
 	}
-	return found, done
+	return found, foundLevel, done
 }
 
 func (c *Controller) recordMigration(addr block.ID, level int) {
@@ -251,9 +354,10 @@ func (c *Controller) recordMigration(addr block.ID, level int) {
 
 // treeAccess dispatches the main-tree access primitive: Ring ORAM's
 // one-block-per-bucket read when the Ring protocol is active, the Path ORAM
-// read+write path otherwise.
+// read+write path otherwise. foundLevel follows the pathAccess contract:
+// the memory level the target was read from, or -1.
 func (c *Controller) treeAccess(now uint64, leaf block.Leaf, target block.ID,
-	ptype block.PathType) (found bool, done uint64) {
+	ptype block.PathType) (found bool, foundLevel int, done uint64) {
 	if c.ring != nil {
 		return c.ringAccess(now, leaf, target, ptype)
 	}
@@ -269,7 +373,7 @@ func (c *Controller) backgroundEvict(now uint64) uint64 {
 	if c.ring != nil {
 		done = c.ringEvictPath(now)
 	} else {
-		_, done = c.pathAccess(now, c.randomLeaf(), block.Invalid, block.PathEvict)
+		_, _, done = c.pathAccess(now, c.randomLeaf(), block.Invalid, block.PathEvict)
 	}
 	c.st.BgEvictions++
 	c.st.BgEvictionCycles += done - now
@@ -281,7 +385,7 @@ func (c *Controller) backgroundEvict(now uint64) uint64 {
 // (Path ORAM) or consumes bucket dummies exactly like a missing read
 // (Ring ORAM).
 func (c *Controller) dummyPath(now uint64) uint64 {
-	_, done := c.treeAccess(now, c.randomLeaf(), block.Invalid, block.PathDummy)
+	_, _, done := c.treeAccess(now, c.randomLeaf(), block.Invalid, block.PathDummy)
 	c.st.DummyPaths++
 	return done
 }

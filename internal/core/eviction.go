@@ -43,7 +43,7 @@ import (
 // returned slice is buf's (possibly grown) backing for the caller to keep.
 func evictOntoPath(fs *stash.FStash, tr *tree.Tree, top stash.TopStore,
 	z config.ZProfile, minLevel, levels int, leaf block.Leaf,
-	lists [][]tree.Entry, buf []tree.Entry,
+	gathered []tree.Entry, lists [][]tree.Entry, buf []tree.Entry,
 	onPlace func(e tree.Entry, level int)) []tree.Entry {
 
 	low := minLevel
@@ -53,7 +53,21 @@ func evictOntoPath(fs *stash.FStash, tr *tree.Tree, top stash.TopStore,
 	for l := low; l < levels; l++ {
 		lists[l] = lists[l][:0]
 	}
-	fs.TakeForPath(leaf, low, levels, lists)
+	// gathered holds the blocks the fused read walk just pulled off the
+	// path, kept out of the stash index because this drain would remove
+	// them again immediately; DrainForPath classifies them and the resident
+	// entries in the exact order Insert-then-TakeForPath would have. Every
+	// configured scheme has low == 0 (a tree-top store or minLevel 0), so
+	// the general TakeForPath branch only serves callers that pre-inserted
+	// (gathered == nil: the reference pipelines and the eviction tests).
+	if low == 0 {
+		fs.DrainForPath(leaf, levels, lists, gathered)
+	} else {
+		for _, e := range gathered {
+			fs.Insert(e)
+		}
+		fs.TakeForPath(leaf, low, levels, lists)
+	}
 
 	// buf[head:] is the candidate pool for the current level: entries whose
 	// deepest placeable level was deeper but which did not fit there. Each

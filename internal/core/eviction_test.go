@@ -79,7 +79,7 @@ func TestEvictionDifferential(t *testing.T) {
 				clear(liveCounts)
 				clear(refCounts)
 				c.evictBuf = evictOntoPath(c.fstash, c.tr, c.top, c.o.Z,
-					c.minLevel, c.o.Levels, leaf, c.evictList, c.evictBuf,
+					c.minLevel, c.o.Levels, leaf, nil, c.evictList, c.evictBuf,
 					func(e tree.Entry, l int) {
 						liveCounts[l]++
 						if !tree.SameSubtree(leaf, e.Leaf, l, c.o.Levels) {

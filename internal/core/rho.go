@@ -5,6 +5,7 @@ import (
 
 	"iroram/internal/block"
 	"iroram/internal/config"
+	"iroram/internal/dram"
 	"iroram/internal/stash"
 	"iroram/internal/tree"
 )
@@ -46,6 +47,11 @@ type rhoState struct {
 	limit   int
 	demoteQ []block.ID
 
+	// sched memoizes the small tree's per-leaf DRAM run lists (nil when
+	// disabled); nPathBlocks is its fixed per-path block count.
+	sched       *dram.PathSched
+	nPathBlocks int
+
 	// Paths counts small-tree path accesses for the experiment harness.
 	SmallPaths uint64
 }
@@ -82,6 +88,9 @@ func (c *Controller) initRho() error {
 	}
 	// The small tree shares the DRAM with the main tree, laid out after it.
 	c.rho.physOff = tree.NewLayout(c.o, c.minLevel, int(c.mem.RowBlocks())).PhysicalSlots()
+	c.rho.nPathBlocks = small.Z.BlocksPerPath(small.TopLevels)
+	c.rho.sched = newPathSched(c.mem, c.cfg.DRAM.PathSchedSlots,
+		small.LeafCount(), c.rho.nPathBlocks, c.rho.physOff)
 	return nil
 }
 
@@ -97,40 +106,64 @@ func (r *rhoState) randomLeaf(c *Controller) block.Leaf {
 	return block.Leaf(c.rng.Uint64n(r.o.LeafCount()))
 }
 
-// rhoPathAccess is the small-tree path primitive, mirroring pathAccess.
+// rhoPathAccess is the small-tree path primitive, mirroring pathAccess:
+// the same fused single-walk pipeline (memoized run-list read phase, one
+// gather walk into the small stash, eviction walk, posted run-list write
+// phase), with rhoPathAccessReference retaining the multi-walk shape.
 func (c *Controller) rhoPathAccess(now uint64, leaf block.Leaf, target block.ID,
 	ptype block.PathType) (found bool, done uint64) {
+	if c.refPipeline {
+		return c.rhoPathAccessReference(now, leaf, target, ptype)
+	}
 	r := c.rho
-	c.physBuf = r.layout.PathPhys(leaf, c.physBuf[:0])
-	readDone := c.mem.ServicePath(now, c.physBuf, r.physOff, false)
+	var readDone uint64
+	var runs []dram.Run
+	if r.sched != nil {
+		runs = c.rhoPathRuns(leaf)
+		readDone = c.mem.ServiceRuns(now, runs, false)
+	} else {
+		c.physBuf = r.layout.PathPhys(leaf, c.physBuf[:0])
+		readDone = c.mem.ServicePath(now, c.physBuf, r.physOff, false)
+	}
 	c.st.PhaseReadCycles += readDone - now
 
-	c.readBuf = r.tr.ReadPath(leaf, c.readBuf[:0])
+	c.gathered = c.gathered[:0]
+	c.gTarget, c.gFound = target, false
+	r.tr.ReadPathEach(leaf, c.gatherRho)
 	var top stash.TopStore // keep a nil *TopCache a nil interface
 	if r.top != nil {
 		top = r.top
-		c.readBuf = r.top.ReadPath(leaf, c.readBuf)
+		r.top.ReadPathEach(leaf, c.gatherRho)
 	}
-	for _, e := range c.readBuf {
-		if e.Addr == target {
-			found = true
-			continue
-		}
-		r.fstash.Insert(e)
-	}
+	found = c.gFound
 	// Write phase: the same single-pass eviction as the main tree, reusing
 	// the controller's scratch (the two trees never evict concurrently).
 	c.evictBuf = evictOntoPath(r.fstash, r.tr, top, r.o.Z, r.o.TopLevels,
-		r.o.Levels, leaf, c.evictList, c.evictBuf, nil)
+		r.o.Levels, leaf, c.gathered, c.evictList, c.evictBuf, nil)
 
 	// As in the main tree, the write phase is posted to DRAM.
-	writeDone := c.mem.PostWritePath(readDone, c.physBuf, r.physOff)
+	var writeDone uint64
+	if runs != nil {
+		writeDone = c.mem.PostWriteRuns(readDone, runs)
+	} else {
+		writeDone = c.mem.PostWritePath(readDone, c.physBuf, r.physOff)
+	}
 	c.st.PhaseWriteBackCycles += writeDone - readDone
-	c.st.Paths.Add(ptype, len(c.physBuf), len(c.physBuf))
+	c.st.Paths.Add(ptype, r.nPathBlocks, r.nPathBlocks)
 	done = readDone + c.o.OnChipLatency
 	c.st.PathLatency[ptype].Observe(done - now)
 	r.SmallPaths++
 	return found, done
+}
+
+// rhoPathRuns is pathRuns for the small tree's schedule cache.
+func (c *Controller) rhoPathRuns(leaf block.Leaf) []dram.Run {
+	r := c.rho
+	if runs, ok := r.sched.Lookup(uint64(leaf)); ok {
+		return runs
+	}
+	c.physBuf = r.layout.PathPhys(leaf, c.physBuf[:0])
+	return r.sched.Install(uint64(leaf), c.physBuf)
 }
 
 // rhoDataAccess services a demand access for a small-tree resident block:

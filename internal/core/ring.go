@@ -61,9 +61,10 @@ func (r *ringState) bucket(levels, level int, leaf block.Leaf) int {
 
 // ringAccess is Ring ORAM's read: one block per memory bucket, early
 // reshuffles where a bucket's dummies ran out, and the amortized eviction
-// path every RingA reads. It fills the same contract as pathAccess.
+// path every RingA reads. It fills the same contract as pathAccess;
+// foundLevel is the targetLevel the protocol resolves up front anyway.
 func (c *Controller) ringAccess(now uint64, leaf block.Leaf, target block.ID,
-	ptype block.PathType) (found bool, done uint64) {
+	ptype block.PathType) (found bool, foundLevel int, done uint64) {
 	r := c.ring
 	targetLevel := -1
 	if target.Valid() {
@@ -134,7 +135,7 @@ func (c *Controller) ringAccess(now uint64, leaf block.Leaf, target block.ID,
 		r.sinceEvict = 0
 		c.ringEvictPath(done)
 	}
-	return found, done
+	return found, targetLevel, done
 }
 
 // ringEvictPath is a full Path ORAM-style read+write of the next
@@ -148,7 +149,7 @@ func (c *Controller) ringEvictPath(now uint64) uint64 {
 	// The eviction path moves Z+S blocks per bucket in both directions;
 	// account the dummy slots on top of what pathAccess charges (Z each
 	// way) so the traffic matches the protocol.
-	_, done := c.pathAccess(now, leaf, block.Invalid, block.PathEvict)
+	_, _, done := c.pathAccess(now, leaf, block.Invalid, block.PathEvict)
 	extra := (c.o.Levels - c.minLevel) * r.s
 	c.st.Paths.BlocksRead += uint64(extra)
 	c.st.Paths.BlocksWrit += uint64(extra)

@@ -4,10 +4,20 @@
 // column access / precharge / burst). Together with the subtree layout in
 // internal/tree it reproduces the two first-order effects Path ORAM
 // performance depends on: path-batch service time and row-buffer locality.
+//
+// Path phases are serviced in run-length form: ServicePath/PostWritePath
+// group a path's addresses into per-(channel,bank,row) runs (see Run,
+// AppendRuns) and charge one row-buffer transition plus one burst
+// accumulation per run, with PathSched memoizing the run list per leaf.
+// The per-address implementations — ServiceBatch/PostWrites — are retained
+// as the differential oracle: they must produce bit-identical timing,
+// statistics and state evolution for the same access sequence, and the
+// randomized differential tests in this package pin that equivalence.
 package dram
 
 import (
 	"fmt"
+	"math/bits"
 
 	"iroram/internal/config"
 )
@@ -72,6 +82,23 @@ type Model struct {
 	channels  []channel
 	rowBlocks uint64
 	stats     Stats
+
+	// Shift/mask decomposition, used by AppendRuns when channels, banks
+	// and row blocks are all powers of two (every preset geometry): three
+	// 64-bit divisions per address become shifts. pow2 false falls back to
+	// the division form; the per-address oracle (decompose) always divides,
+	// so the differential tests also pin the fast path's arithmetic.
+	pow2              bool
+	chShift, rowShift uint
+	bkShift           uint
+	chMask, bkMask    uint64
+
+	// Scratch for the run-length path service (reused, never shrunk) and
+	// the schedule caches to invalidate on Reset.
+	lastRun    []int32  // per-channel index of the open run in AppendRuns
+	chCount    []uint64 // per-channel access counts for posted-write drains
+	runScratch []Run    // ServicePath's run list when no PathSched is used
+	scheds     []*PathSched
 }
 
 // New builds a model from the configuration. It panics on invalid geometry
@@ -79,6 +106,10 @@ type Model struct {
 func New(cfg config.DRAM) *Model {
 	if cfg.Channels <= 0 || cfg.BanksPerChannel <= 0 || cfg.RowBytes < config.BlockSize {
 		panic(fmt.Sprintf("dram: invalid geometry %+v", cfg))
+	}
+	if cfg.Channels > 1<<16 || cfg.BanksPerChannel > 1<<16 {
+		// Run packs channel and bank into uint16 each.
+		panic(fmt.Sprintf("dram: geometry exceeds run encoding %+v", cfg))
 	}
 	cpd := uint64(cfg.CPUCyclesPerDRAMCycle)
 	m := &Model{
@@ -98,6 +129,18 @@ func New(cfg config.DRAM) *Model {
 		for b := range m.channels[i].banks {
 			m.channels[i].banks[b].openRow = noRow
 		}
+	}
+	m.lastRun = make([]int32, cfg.Channels)
+	m.chCount = make([]uint64, cfg.Channels)
+	m.runScratch = make([]Run, 0, 64)
+	nCh, nBk := uint64(cfg.Channels), uint64(cfg.BanksPerChannel)
+	if nCh&(nCh-1) == 0 && nBk&(nBk-1) == 0 && m.rowBlocks&(m.rowBlocks-1) == 0 {
+		m.pow2 = true
+		m.chShift = uint(bits.TrailingZeros64(nCh))
+		m.chMask = nCh - 1
+		m.rowShift = uint(bits.TrailingZeros64(m.rowBlocks))
+		m.bkShift = uint(bits.TrailingZeros64(nBk))
+		m.bkMask = nBk - 1
 	}
 	return m
 }
@@ -148,18 +191,15 @@ func (m *Model) ServiceBatch(now uint64, accs []Access) uint64 {
 // otherwise rebuild an []Access per phase. Every address is offset by off
 // (the tree's physical base; 0 for the main tree) and serviced in the given
 // direction. Timing, statistics and channel-state evolution are identical
-// to ServiceBatch on the equivalent []Access.
+// to ServiceBatch on the equivalent []Access; internally the phase is
+// serviced in run-length form (AppendRuns + ServiceRuns) rather than
+// address by address.
 func (m *Model) ServicePath(now uint64, phys []uint64, off uint64, write bool) uint64 {
 	if len(phys) == 0 {
 		return now
 	}
-	done := now
-	for _, a := range phys {
-		if finish := m.serviceOne(now, a+off, write); finish > done {
-			done = finish
-		}
-	}
-	return done
+	m.runScratch = m.AppendRuns(phys, off, m.runScratch[:0])
+	return m.ServiceRuns(now, m.runScratch, write)
 }
 
 // serviceOne charges one block transfer issued at now and returns when its
@@ -234,18 +274,21 @@ func (m *Model) PostWrites(now uint64, accs []Access) uint64 {
 
 // PostWritePath posts one path-sized write phase given the physical block
 // addresses directly (offset by off), the zero-copy twin of PostWrites —
-// same drain semantics, no []Access rebuild.
+// same drain semantics, no []Access rebuild. Posted writes only occupy
+// channel buses, so the run-length form degenerates to one per-channel
+// access count: the drain is O(channels) regardless of path length.
 func (m *Model) PostWritePath(now uint64, phys []uint64, off uint64) uint64 {
 	if len(phys) == 0 {
 		return now
 	}
-	done := now
-	for _, a := range phys {
-		if freeAt := m.postOne(now, a+off); freeAt > done {
-			done = freeAt
-		}
+	for i := range m.chCount {
+		m.chCount[i] = 0
 	}
-	return done
+	nCh := uint64(m.cfg.Channels)
+	for _, a := range phys {
+		m.chCount[(a+off)%nCh]++
+	}
+	return m.drainCounts(now)
 }
 
 // postOne drains one buffered write onto addr's channel bus and returns when
@@ -278,7 +321,8 @@ func (m *Model) FreeAt() uint64 {
 // Stats returns a copy of the accumulated statistics.
 func (m *Model) Stats() Stats { return m.stats }
 
-// Reset clears timing state and statistics.
+// Reset clears timing state and statistics, and invalidates every
+// PathSched created from this model.
 func (m *Model) Reset() {
 	m.stats = Stats{}
 	for i := range m.channels {
@@ -287,15 +331,26 @@ func (m *Model) Reset() {
 			m.channels[i].banks[b] = bank{openRow: noRow}
 		}
 	}
+	for _, s := range m.scheds {
+		s.Invalidate()
+	}
 }
 
 // PathServiceBound returns an upper bound on the CPU cycles one path phase
 // of n blocks takes on an idle memory system — useful for checking that the
 // timing-protection interval T can absorb a full path (the paper's
 // assumption when fixing T=1000).
+//
+// The bound is strict for any address sequence: a channel's cursor advances
+// by at most one full row turnaround (precharge + write recovery +
+// activate + column access) plus one burst per access, because a bank's
+// last data beat never trails its channel's bus cursor. Real subtree-laid-
+// out paths come in far under it — they pay roughly one turnaround per
+// chunk, not per block — which TestPathServiceBoundDominatesRunLength
+// exercises against the run-length servicer.
 func (m *Model) PathServiceBound(n int) uint64 {
 	cpd := uint64(m.cfg.CPUCyclesPerDRAMCycle)
 	perChan := (uint64(n) + uint64(m.cfg.Channels) - 1) / uint64(m.cfg.Channels)
 	lat := uint64(m.cfg.TRP+m.cfg.TWR+m.cfg.TRCD+m.cfg.TCAS) * cpd
-	return lat + perChan*uint64(m.cfg.TBurst)*cpd + lat
+	return perChan * (lat + uint64(m.cfg.TBurst)*cpd)
 }

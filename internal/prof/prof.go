@@ -15,10 +15,13 @@ import (
 // heap profile taken after a final GC (so it shows live retention, and —
 // via the alloc_space sample index — cumulative allocation sites).
 //
-// stop must run on every exit path; commands structure main as
-// `os.Exit(run())` with `defer stop()` inside run, because a bare os.Exit
-// would discard the buffered CPU profile.
-func Start(cpuFile, memFile string) (stop func(), err error) {
+// stop must run on every exit path and its error must be checked: a failed
+// flush (disk full, file removed underneath us) otherwise leaves a silently
+// truncated profile next to a successful-looking run. Commands structure
+// main as `os.Exit(run())` with run deferring a closure that folds a stop
+// failure into its exit code, because a bare os.Exit would discard the
+// buffered CPU profile entirely.
+func Start(cpuFile, memFile string) (stop func() error, err error) {
 	var cpu *os.File
 	if cpuFile != "" {
 		f, err := os.Create(cpuFile)
@@ -31,23 +34,31 @@ func Start(cpuFile, memFile string) (stop func(), err error) {
 		}
 		cpu = f
 	}
-	return func() {
+	return func() error {
+		var firstErr error
 		if cpu != nil {
 			pprof.StopCPUProfile()
-			cpu.Close()
+			if err := cpu.Close(); err != nil {
+				firstErr = fmt.Errorf("prof: flushing CPU profile: %w", err)
+			}
 		}
 		if memFile == "" {
-			return
+			return firstErr
 		}
 		f, err := os.Create(memFile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "prof: %v\n", err)
-			return
+			if firstErr == nil {
+				firstErr = fmt.Errorf("prof: %w", err)
+			}
+			return firstErr
 		}
-		defer f.Close()
 		runtime.GC() // settle the live heap before the snapshot
-		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+		if err := pprof.WriteHeapProfile(f); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("prof: writing heap profile: %w", err)
 		}
+		if err := f.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("prof: flushing heap profile: %w", err)
+		}
+		return firstErr
 	}, nil
 }

@@ -84,6 +84,32 @@ func (t *AddrTable) Get(id block.ID) (uint32, bool) {
 	}
 }
 
+// GetOrPut returns the value stored for id when present (ok true). When
+// absent it inserts id -> v in the same probe sequence and returns (v,
+// false) — the insert-or-update primitive of the F-Stash, which would
+// otherwise pay a Get probe followed by a full Put re-probe on the hot
+// path's every gather insert.
+func (t *AddrTable) GetOrPut(id block.ID, v uint32) (uint32, bool) {
+	if id == block.Invalid {
+		panic("stash: AddrTable key must not be block.Invalid")
+	}
+	if t.n >= t.grow {
+		t.rehash(len(t.keys) * 2)
+	}
+	for i := t.slot(id); ; i = (i + 1) & t.mask {
+		k := t.keys[i]
+		if k == id {
+			return t.vals[i], true
+		}
+		if k == block.Invalid {
+			t.keys[i] = id
+			t.vals[i] = v
+			t.n++
+			return v, false
+		}
+	}
+}
+
 // Put inserts or updates id -> v.
 func (t *AddrTable) Put(id block.ID, v uint32) {
 	if id == block.Invalid {

@@ -45,11 +45,10 @@ func (s *FStash) Overfull(threshold int) bool { return len(s.items) > threshold 
 // Insert adds or updates a block. Duplicate inserts update the leaf in
 // place (the block was remapped while stashed).
 func (s *FStash) Insert(e tree.Entry) {
-	if i, ok := s.index.Get(e.Addr); ok {
+	if i, ok := s.index.GetOrPut(e.Addr, uint32(len(s.items))); ok {
 		s.items[i] = e
 		return
 	}
-	s.index.Put(e.Addr, uint32(len(s.items)))
 	s.items = append(s.items, e)
 	if len(s.items) > s.HighWater {
 		s.HighWater = len(s.items)
@@ -170,6 +169,46 @@ func (s *FStash) TakeForPath(leaf block.Leaf, lowLevel, levels int, perLevel [][
 		perLevel[d] = append(perLevel[d], e)
 		s.removeAt(i) // swaps the last entry into slot i; do not advance
 	}
+}
+
+// DrainForPath is TakeForPath specialized to lowLevel == 0, where the
+// removal scan takes every entry: it drains the whole stash plus the
+// caller's just-gathered extra entries into perLevel, visiting them in
+// exactly the order TakeForPath would have had extra first been Inserted —
+// storage slot 0, then the combined tail in reverse (the swap-with-last
+// dynamics of a scan that never advances past slot 0) — without paying the
+// per-entry index maintenance of Insert followed by removeAt. extra
+// entries must not already be stashed (the controller's a-block-lives-in-
+// exactly-one-place invariant). HighWater advances as if the extra entries
+// had been inserted first.
+func (s *FStash) DrainForPath(leaf block.Leaf, levels int, perLevel [][]tree.Entry, extra []tree.Entry) {
+	n := len(s.items)
+	if hw := n + len(extra); hw > s.HighWater {
+		s.HighWater = hw
+	}
+	first := 0
+	if n > 0 {
+		drainVisit(leaf, levels, perLevel, s.items[0])
+	} else if len(extra) > 0 {
+		drainVisit(leaf, levels, perLevel, extra[0])
+		first = 1
+	}
+	for i := len(extra) - 1; i >= first; i-- {
+		drainVisit(leaf, levels, perLevel, extra[i])
+	}
+	for i := n - 1; i >= 1; i-- {
+		drainVisit(leaf, levels, perLevel, s.items[i])
+	}
+	for _, e := range s.items {
+		s.index.Delete(e.Addr)
+	}
+	s.items = s.items[:0]
+}
+
+// drainVisit classifies one drained entry into its deepest placeable level.
+func drainVisit(leaf block.Leaf, levels int, perLevel [][]tree.Entry, e tree.Entry) {
+	d := tree.DeepestLevel(leaf, e.Leaf, levels)
+	perLevel[d] = append(perLevel[d], e)
 }
 
 func (s *FStash) String() string {

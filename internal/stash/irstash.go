@@ -139,6 +139,24 @@ func (s *IRStash) ReadPath(leaf block.Leaf, dst []tree.Entry) []tree.Entry {
 	return out
 }
 
+// ReadPathEach implements TopStore.
+func (s *IRStash) ReadPathEach(leaf block.Leaf, visit func(tree.Entry, int)) {
+	for l := 0; l < s.topLevels; l++ {
+		n := s.node(l, leaf)
+		for i, ptr := range s.tt[n] {
+			if ptr < 0 {
+				continue
+			}
+			sl := &s.slots[ptr]
+			e := tree.Entry{Addr: sl.addr, Leaf: sl.leaf}
+			sl.valid = false
+			s.tt[n][i] = -1
+			s.occupied[l]--
+			visit(e, l)
+		}
+	}
+}
+
 // Fill implements TopStore. It refuses on bucket overflow or when the
 // block's S-Stash set has no free way (counted in Conflicts).
 func (s *IRStash) Fill(level int, leaf block.Leaf, e tree.Entry) bool {

@@ -16,6 +16,10 @@ type TopStore interface {
 	// leaf (the on-chip segment of a path read), appending to dst — which
 	// may be nil, or a buffer reused across paths to avoid allocation.
 	ReadPath(leaf block.Leaf, dst []tree.Entry) []tree.Entry
+	// ReadPathEach is ReadPath without the intermediate buffer: each
+	// removed block is handed to visit with its level, in exactly
+	// ReadPath's emission order. visit must not touch the store.
+	ReadPathEach(leaf block.Leaf, visit func(tree.Entry, int))
 	// Fill places e into the bucket the path of leaf crosses at level; it
 	// returns false when the design cannot accept the block (bucket full,
 	// or an S-Stash set conflict) and the caller must keep it stashed.
@@ -83,6 +87,19 @@ func (t *TopCache) ReadPath(leaf block.Leaf, dst []tree.Entry) []tree.Entry {
 		t.nodes[n] = t.nodes[n][:0]
 	}
 	return out
+}
+
+// ReadPathEach implements TopStore.
+func (t *TopCache) ReadPathEach(leaf block.Leaf, visit func(tree.Entry, int)) {
+	for l := 0; l < t.topLevels; l++ {
+		n := t.node(l, leaf)
+		bucket := t.nodes[n]
+		t.occupied[l] -= uint64(len(bucket))
+		t.nodes[n] = bucket[:0]
+		for _, e := range bucket {
+			visit(e, l)
+		}
+	}
 }
 
 // Fill implements TopStore. The dedicated cache owns its buckets outright,

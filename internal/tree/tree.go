@@ -134,6 +134,29 @@ func (t *Tree) ReadPath(leaf block.Leaf, dst []Entry) []Entry {
 	return out
 }
 
+// ReadPathEach is ReadPath without the intermediate buffer: it removes every
+// real block on the path of leaf (memory-resident levels only) and hands
+// each to visit along with its level, in exactly ReadPath's root-to-leaf
+// emission order. It is the read-gather half of the controller's fused
+// single-walk pipeline; visit must not touch the tree.
+func (t *Tree) ReadPathEach(leaf block.Leaf, visit func(Entry, int)) {
+	for l := t.minLevel; l < t.levels; l++ {
+		lo, hi := t.bucketSlots(l, t.BucketIndex(l, leaf))
+		addrs := t.slotAddr[lo:hi]
+		leaves := t.slotLeaf[lo:hi:hi]
+		var removed uint64
+		for s, a := range addrs {
+			if a != invalid32 {
+				e := Entry{Addr: block.ID(a), Leaf: block.Leaf(leaves[s])}
+				addrs[s] = invalid32
+				removed++
+				visit(e, l)
+			}
+		}
+		t.occupied[l] -= removed
+	}
+}
+
 // FillBucket writes entries into the (empty) bucket the path of leaf crosses
 // at level — the write phase for one level. It panics if the bucket has
 // fewer free slots than entries or if an entry does not belong on this
@@ -146,25 +169,25 @@ func (t *Tree) FillBucket(level int, leaf block.Leaf, entries []Entry) {
 		panic(fmt.Sprintf("tree: %d entries for Z=%d bucket", len(entries), t.z[level]))
 	}
 	lo, hi := t.bucketSlots(level, t.BucketIndex(level, leaf))
+	// Fills only add blocks, so free slots are consumed left to right; one
+	// cursor across entries replaces a from-the-start rescan per entry.
+	s := lo
 	for _, e := range entries {
 		if !SameSubtree(leaf, e.Leaf, level, t.levels) {
 			panic(fmt.Sprintf("tree: block %v (leaf %d) misplaced at level %d of path %d",
 				e.Addr, e.Leaf, level, leaf))
 		}
-		placed := false
-		for s := lo; s < hi; s++ {
-			if t.slotAddr[s] == invalid32 {
-				t.slotAddr[s] = uint32(e.Addr)
-				t.slotLeaf[s] = uint32(e.Leaf)
-				t.occupied[level]++
-				placed = true
-				break
-			}
+		for s < hi && t.slotAddr[s] != invalid32 {
+			s++
 		}
-		if !placed {
+		if s == hi {
 			panic(fmt.Sprintf("tree: bucket overflow at level %d", level))
 		}
+		t.slotAddr[s] = uint32(e.Addr)
+		t.slotLeaf[s] = uint32(e.Leaf)
+		s++
 	}
+	t.occupied[level] += uint64(len(entries))
 }
 
 // Find scans the path of leaf for addr without modifying the tree and
