@@ -13,10 +13,10 @@
 #                   registry's self-description both ways
 #   make check      all of the above — the documented verification flow
 #   make bench      benchmark harness (one benchmark per paper figure)
-#   make benchjson  performance-trajectory snapshot (BENCH_pr7.json, min of
+#   make benchjson  performance-trajectory snapshot (BENCH_pr8.json, min of
 #                   5 reps per benchmark); fails if the quick fig10 gmeans
-#                   drift from BENCH_pr6.json
-#   make benchcmp   compare BENCH_pr7.json against BENCH_pr6.json: fails on
+#                   drift from BENCH_pr7.json
+#   make benchcmp   compare BENCH_pr8.json against BENCH_pr7.json: fails on
 #                   >10% ns/op regression or any metric drift
 #   make profile    CPU+heap profile of a quick fig10 regeneration
 
@@ -48,10 +48,10 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 benchjson:
-	$(GO) run ./cmd/benchjson -out BENCH_pr7.json -baseline BENCH_pr6.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr8.json -baseline BENCH_pr7.json
 
 benchcmp:
-	$(GO) run ./cmd/benchjson -diff BENCH_pr7.json -against BENCH_pr6.json
+	$(GO) run ./cmd/benchjson -diff BENCH_pr8.json -against BENCH_pr7.json
 
 profile:
 	$(GO) run ./cmd/experiments -fig fig10 -quick -progress=false \

@@ -13,6 +13,15 @@
 // stderr, so stdout is byte-identical for every -jobs value and safe to
 // diff or commit. Ctrl-C cancels the sweep at the next cell boundary.
 //
+// By default the figures run as one deduplicated batch: -dedup shares a
+// cell-result cache across drivers (a cell several figures re-request
+// simulates once) and -overlap submits all drivers concurrently on one
+// shared worker budget of -jobs cells, buffering tables and printing them
+// in figure order. Both default on and change no output byte — disable
+// with -dedup=false -overlap=false to reproduce the serial, cache-less
+// runs. The per-figure stderr line reports cells=N hits=M cache accounting
+// (cached cells still count in -progress and telemetry totals).
+//
 // With -emit jsonl, -out names a directory instead of an append file: one
 // <figure>.jsonl sidecar per figure, one record per simulated cell with the
 // full metric dump (schema in docs/METRICS.md). Artifact bytes, like
@@ -57,6 +66,10 @@ func run() (code int) {
 		emitMode  = flag.String("emit", "", `artifact emission: "jsonl" writes per-figure sidecars under -out`)
 		telemetry = flag.String("telemetry", "", "serve live JSON progress snapshots on this HTTP address (e.g. :8080)")
 		epochs    = flag.Uint64("epochs", 0, "with -emit jsonl: record an epoch snapshot every N issued paths (0 = off)")
+		dedup     = flag.Bool("dedup", true,
+			"share one cell-result cache across figures (identical cells simulate once; output bytes are unchanged)")
+		overlap = flag.Bool("overlap", true,
+			"run figure drivers concurrently on one shared worker budget (tables still print in figure order)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -121,7 +134,16 @@ func run() (code int) {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			return 1
 		}
-		defer f.Close()
+		// A sink that failed to close may have lost buffered results; like
+		// the profile flush above, surface it and fail the command.
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: closing %s: %v\n", *out, err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 		sink = f
 	}
 	emit := func(s string) {
@@ -143,34 +165,44 @@ func run() (code int) {
 		fmt.Fprintf(os.Stderr, "telemetry: serving snapshots on http://%s/\n", t.Addr())
 	}
 
+	if *fig == "zsearch" {
+		opts.Progress = progressObserver("zsearch", *progress, tele)
+		zprof, desc, err := iroram.SearchZProfile(opts)
+		clearProgress(*progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: zsearch: %v\n", err)
+			return 1
+		}
+		emit(fmt.Sprintf("Z-search result: %s\n(per-path blocks: %d)\n\n",
+			desc, zprof.BlocksPerPath(opts.Base.ORAM.TopLevels)))
+		return 0
+	}
+
 	names := []string{*fig}
 	if *fig == "all" {
 		names = append([]string{}, iroram.FigureNames...)
 	}
-	for _, name := range names {
-		start := time.Now()
-		opts.Progress = progressObserver(name, *progress, tele)
-		if name == "zsearch" {
-			zprof, desc, err := iroram.SearchZProfile(opts)
-			clearProgress(*progress)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: zsearch: %v\n", err)
-				return 1
-			}
-			emit(fmt.Sprintf("Z-search result: %s\n(per-path blocks: %d)\n\n",
-				desc, zprof.BlocksPerPath(opts.Base.ORAM.TopLevels)))
-			continue
-		}
-		tab, err := iroram.Experiment(name, opts)
+	sweep := iroram.Sweep{
+		Options: opts,
+		Names:   names,
+		Dedup:   *dedup,
+		Overlap: *overlap,
+		ProgressFor: func(name string) func(iroram.Progress) {
+			return progressObserver(name, *progress, tele)
+		},
+	}
+	if err := sweep.Run(func(fr iroram.FigureRun) {
 		clearProgress(*progress)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
-			return 1
+		if fr.Err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", fr.Name, fr.Err)
+			return
 		}
-		emit(tab.String())
+		emit(fr.Table.String())
 		emit("\n")
-		fmt.Fprintf(os.Stderr, "[%s took %v, jobs=%d]\n",
-			name, time.Since(start).Round(time.Millisecond), *jobs)
+		fmt.Fprintf(os.Stderr, "[%s took %v, jobs=%d, cells=%d hits=%d]\n",
+			fr.Name, fr.Elapsed.Round(time.Millisecond), *jobs, fr.Cells, fr.Hits)
+	}); err != nil {
+		return 1
 	}
 	if artifacts != nil {
 		if err := artifacts.WriteDir(*out); err != nil {

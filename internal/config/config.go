@@ -6,6 +6,12 @@
 // user data) plus a scaled default used by the experiment harness and a tiny
 // geometry for unit tests. All experiments are pure functions of a
 // SystemConfig and a seed.
+//
+// The configuration structs double as the cache identity of a simulation
+// cell: internal/cellcache fingerprints a fully-resolved System field by
+// field. Adding a field here is safe — a reflection guard there fails
+// loudly until the key encoder covers it — but the new field must be added
+// to that encoder before anything using the cell cache runs.
 package config
 
 import (

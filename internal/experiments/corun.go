@@ -58,7 +58,7 @@ func (o Options) interference(sch config.Scheme, a, b string) (float64, error) {
 		if err != nil {
 			return 0, err
 		}
-		gen, err := o.genFor(bench, cfg.ORAM.DataBlocks())
+		gen, err := genFor(bench, cfg.ORAM.DataBlocks(), cfg.Seed)
 		if err != nil {
 			return 0, err
 		}
@@ -78,11 +78,11 @@ func (o Options) interference(sch config.Scheme, a, b string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	ga, err := o.genFor(a, cfg.ORAM.DataBlocks())
+	ga, err := genFor(a, cfg.ORAM.DataBlocks(), cfg.Seed)
 	if err != nil {
 		return 0, err
 	}
-	gb, err := o.genFor(b, cfg.ORAM.DataBlocks())
+	gb, err := genFor(b, cfg.ORAM.DataBlocks(), cfg.Seed)
 	if err != nil {
 		return 0, err
 	}

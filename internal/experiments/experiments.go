@@ -15,12 +15,28 @@
 // pure function of (Options.Seed, cell identity), so the tables are
 // bit-identical for every worker count: Jobs == 1 reproduces the historical
 // sequential loops exactly.
+//
+// # Cross-figure memoization
+//
+// Because a cell's sim.Result is a pure function of its fully-resolved
+// configuration, Options.Cache can memoize cells across drivers (the
+// Baseline row alone is re-requested by Table 2, Fig 2, Fig 12 and the
+// ablations): the first requester simulates, duplicates are served the
+// stored result (see internal/cellcache for the single-flight and
+// immutability contracts). Memoization changes only which requester pays
+// the simulation cost — every emit/artifact/progress observation still
+// fires per request, so tables and JSONL artifacts are byte-identical with
+// the cache on or off, for every Jobs value. When drivers additionally run
+// concurrently (the facade's overlapped -fig all sweep), Options.Limit
+// bounds total in-flight cells across all of them.
 package experiments
 
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
+	"iroram/internal/cellcache"
 	"iroram/internal/config"
 	"iroram/internal/runner"
 	"iroram/internal/sim"
@@ -68,6 +84,30 @@ type Options struct {
 	// artifact records). Off by default — it costs amortized allocations
 	// on the access path.
 	EpochInterval uint64
+
+	// Cache, when non-nil, memoizes cell results across drivers (see
+	// internal/cellcache): identical cells simulate once and every later
+	// requester gets the stored sim.Result. Tables, artifacts and progress
+	// are computed per request regardless, so output bytes are identical
+	// with the cache on or off. Nil disables memoization entirely.
+	Cache *cellcache.Cache
+	// Limit, when non-nil, bounds cell execution across every Options value
+	// sharing it — the machine-wide budget when several figure drivers run
+	// concurrently (see runner.Limit). Nil leaves Jobs as the only bound.
+	Limit *runner.Limit
+	// Counters, when non-nil, accumulates cache accounting across every
+	// batch run under these options. Shared safely by concurrent drivers.
+	Counters *CellCounters
+}
+
+// CellCounters tallies cell requests and cache hits across batches. All
+// fields are atomic; one value may be shared by concurrently running
+// drivers.
+type CellCounters struct {
+	// Cells counts every cell requested, cached or not.
+	Cells atomic.Int64
+	// Hits counts the cells served from the cross-figure cache.
+	Hits atomic.Int64
 }
 
 // Default returns the scaled full-fidelity options used by cmd/experiments.
@@ -96,14 +136,17 @@ func (o Options) benchmarks() []string {
 
 // pool assembles the runner configuration for one batch of cells.
 func (o Options) pool() runner.Pool {
-	return runner.Pool{Jobs: o.Jobs, Context: o.Context, OnProgress: o.Progress}
+	return runner.Pool{Jobs: o.Jobs, Context: o.Context, OnProgress: o.Progress, Limit: o.Limit}
 }
 
 // mapCells fans fn over n independent cells on the options' worker pool;
 // results come back ordered by cell index (see runner.Map). It is the one
 // fan-out primitive every figure driver uses. fn must be safe to call from
 // multiple goroutines, which holds for anything built on runOne/runProfile
-// because each cell constructs a private System.
+// because each cell constructs a private System. fn must not fan out through
+// mapCells again when Options.Limit is set — a nested sweep would acquire a
+// second token while already holding one and can deadlock the shared budget.
+// No current driver nests.
 func mapCells[T any](o Options, n int, fn func(i int) (T, error)) ([]T, error) {
 	return runner.Map(o.pool(), n, fn)
 }
@@ -152,51 +195,82 @@ func cyclesOf(rs []sim.Result) []float64 {
 }
 
 // genFor builds the workload generator named by bench ("mix", "random", or
-// a Table II benchmark) over the configured protected space.
-func (o Options) genFor(bench string, universe uint64) (trace.Generator, error) {
+// a Table II benchmark) over the protected space, seeded explicitly so a
+// cell's trace is a pure function of its resolved configuration.
+func genFor(bench string, universe, seed uint64) (trace.Generator, error) {
 	switch bench {
 	case "mix":
-		return trace.PaperMix(universe, o.Seed), nil
+		return trace.PaperMix(universe, seed), nil
 	case "random":
-		return trace.Random(universe, 0.5, o.Seed), nil
+		return trace.Random(universe, 0.5, seed), nil
 	default:
-		return trace.Benchmark(bench, universe, o.Seed)
+		return trace.Benchmark(bench, universe, seed)
 	}
 }
 
-// runOne executes one (scheme, benchmark) cell and returns its result. It
-// builds a fresh System and Generator, so concurrent calls never share
-// state.
-func (o Options) runOne(sch config.Scheme, bench string) (sim.Result, error) {
+// cell is one fully-resolved simulation unit: the post-override system
+// configuration (scheme and Z profile applied, seed pinned) plus the
+// benchmark driving it. Together with Requests and EpochInterval it
+// determines a sim.Result bit-exactly, which is what makes cells cacheable
+// across figure drivers.
+type cell struct {
+	cfg   config.System
+	bench string
+}
+
+// cellFor resolves one (scheme, benchmark) cell against the options' base
+// geometry — the single constructor behind runOne and runProfile.
+func (o Options) cellFor(sch config.Scheme, bench string) cell {
 	cfg := o.Base.WithScheme(sch)
 	cfg.Seed = o.Seed
-	s, err := sim.New(cfg)
+	return cell{cfg: cfg, bench: bench}
+}
+
+// run simulates the cell directly: a fresh System and Generator per call,
+// so concurrent calls never share state.
+func (c cell) run(requests int, epochInterval uint64) (sim.Result, error) {
+	s, err := sim.New(c.cfg)
 	if err != nil {
-		return sim.Result{}, fmt.Errorf("experiments: %s/%s: %w", sch.Name, bench, err)
+		return sim.Result{}, fmt.Errorf("experiments: %s/%s: %w", c.cfg.Scheme.Name, c.bench, err)
 	}
-	gen, err := o.genFor(bench, cfg.ORAM.DataBlocks())
+	gen, err := genFor(c.bench, c.cfg.ORAM.DataBlocks(), c.cfg.Seed)
 	if err != nil {
 		return sim.Result{}, err
 	}
-	s.SetEpochInterval(o.EpochInterval)
-	return s.Run(gen, o.Requests), nil
+	s.SetEpochInterval(epochInterval)
+	return s.Run(gen, requests), nil
+}
+
+// runCell executes one cell, routing through the cross-figure cache when one
+// is configured. Counters tally the request either way: cached cells still
+// count toward progress and telemetry totals.
+func (o Options) runCell(c cell) (sim.Result, error) {
+	if o.Counters != nil {
+		o.Counters.Cells.Add(1)
+	}
+	if o.Cache == nil {
+		return c.run(o.Requests, o.EpochInterval)
+	}
+	key := cellcache.Key(c.cfg, c.bench, o.Requests, o.EpochInterval)
+	res, hit, err := o.Cache.Do(key, func() (sim.Result, error) {
+		return c.run(o.Requests, o.EpochInterval)
+	})
+	if hit && o.Counters != nil {
+		o.Counters.Hits.Add(1)
+	}
+	return res, err
+}
+
+// runOne executes one (scheme, benchmark) cell and returns its result.
+func (o Options) runOne(sch config.Scheme, bench string) (sim.Result, error) {
+	return o.runCell(o.cellFor(sch, bench))
 }
 
 // runProfile is runOne with an explicit Z profile override (Fig 12/16).
 func (o Options) runProfile(sch config.Scheme, prof config.ZProfile, bench string) (sim.Result, error) {
-	cfg := o.Base.WithScheme(sch)
-	cfg.ORAM.Z = prof
-	cfg.Seed = o.Seed
-	s, err := sim.New(cfg)
-	if err != nil {
-		return sim.Result{}, fmt.Errorf("experiments: %s/%s: %w", sch.Name, bench, err)
-	}
-	gen, err := o.genFor(bench, cfg.ORAM.DataBlocks())
-	if err != nil {
-		return sim.Result{}, err
-	}
-	s.SetEpochInterval(o.EpochInterval)
-	return s.Run(gen, o.Requests), nil
+	c := o.cellFor(sch, bench)
+	c.cfg.ORAM.Z = prof
+	return o.runCell(c)
 }
 
 // speedups converts per-row cycle counts into "vs baseline" speedups.

@@ -128,7 +128,7 @@ func Fig4(opts Options) (*stats.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		gen, err := opts.genFor(benches[i], cfg.ORAM.DataBlocks())
+		gen, err := genFor(benches[i], cfg.ORAM.DataBlocks(), cfg.Seed)
 		if err != nil {
 			return nil, err
 		}

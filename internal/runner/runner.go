@@ -5,7 +5,9 @@
 // (scheme × benchmark) cells. Every cell constructs a private sim.System and
 // trace.Generator from the cell's configuration and seed, so cells share no
 // mutable state and are embarrassingly parallel. This package supplies the
-// one fan-out primitive they all use, Map, plus the seeding helper CellSeed.
+// one fan-out primitive they all use, Map, the seeding helper CellSeed, and
+// the cross-pool concurrency bound Limit that lets several overlapping
+// batches (the -fig all figure drivers) share one global worker budget.
 //
 // # Determinism contract
 //
@@ -80,7 +82,51 @@ type Pool struct {
 	// arrive in completion order, so Done is monotone while the cell that
 	// finished is unspecified.
 	OnProgress func(Progress)
+	// Limit, when non-nil, additionally bounds cell execution across every
+	// pool sharing the Limit: each cell acquires one token for the duration
+	// of its function. Jobs stays the per-batch worker bound; Limit is the
+	// machine-wide bound when several batches (the overlapped figure
+	// drivers of -fig all) run concurrently. A nil Limit changes nothing.
+	Limit *Limit
 }
+
+// Limit is a counting semaphore shared by several pools: together with
+// Pool.Limit it caps how many cells across all participating batches
+// execute at any moment, regardless of how many worker goroutines the
+// individual pools spawned.
+//
+// Sharing a Limit is safe with single-flight memoization layered inside the
+// cell functions (internal/cellcache): a waiter blocked on an in-flight
+// cell does hold its token, but the owner of that cell acquired its own
+// token before registering the entry and never re-acquires, so the owner
+// always runs to completion and no token cycle can form.
+type Limit struct {
+	tokens chan struct{}
+}
+
+// NewLimit returns a Limit admitting n concurrent cells; n <= 0 means
+// runtime.GOMAXPROCS(0).
+func NewLimit(n int) *Limit {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return &Limit{tokens: make(chan struct{}, n)}
+}
+
+// Cap returns the number of concurrent cells the limit admits.
+func (l *Limit) Cap() int { return cap(l.tokens) }
+
+// acquire blocks until a token is free or ctx is cancelled.
+func (l *Limit) acquire(ctx context.Context) error {
+	select {
+	case l.tokens <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (l *Limit) release() { <-l.tokens }
 
 func (p Pool) jobs() int {
 	if p.Jobs > 0 {
@@ -110,6 +156,20 @@ func Map[T any](p Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 	}
 	start := time.Now()
 
+	// call wraps fn with the shared cross-pool token, when one is
+	// configured. The token covers exactly one cell; acquisition respects
+	// cancellation so a cancelled sweep never queues for execution slots.
+	call := func(ctx context.Context, i int) (T, error) {
+		if p.Limit != nil {
+			if err := p.Limit.acquire(ctx); err != nil {
+				var zero T
+				return zero, err
+			}
+			defer p.Limit.release()
+		}
+		return fn(i)
+	}
+
 	if jobs <= 1 {
 		// Inline fast path: byte-for-byte the historical sequential loop,
 		// with cancellation checked between cells.
@@ -117,7 +177,7 @@ func Map[T any](p Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 			if err := outer.Err(); err != nil {
 				return nil, err
 			}
-			v, err := fn(i)
+			v, err := call(outer, i)
 			if err != nil {
 				return nil, err
 			}
@@ -157,7 +217,7 @@ func Map[T any](p Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				v, err := fn(i)
+				v, err := call(ctx, i)
 				mu.Lock()
 				if err != nil {
 					if errIndex < 0 || i < errIndex {

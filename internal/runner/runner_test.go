@@ -197,3 +197,87 @@ func TestCellSeedStableAndDistinct(t *testing.T) {
 		t.Error("CellSeed ignores the base seed")
 	}
 }
+
+// TestLimitBoundsAcrossPools runs several concurrent Map batches sharing one
+// Limit and asserts the cross-pool peak concurrency never exceeds the
+// limit's capacity even though each pool alone could run more workers.
+func TestLimitBoundsAcrossPools(t *testing.T) {
+	const capTokens = 2
+	limit := NewLimit(capTokens)
+	if limit.Cap() != capTokens {
+		t.Fatalf("Cap() = %d, want %d", limit.Cap(), capTokens)
+	}
+	var cur, peak atomic.Int64
+	cell := func(i int) (struct{}, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		cur.Add(-1)
+		return struct{}{}, nil
+	}
+	var wg sync.WaitGroup
+	for pool := 0; pool < 4; pool++ {
+		jobs := 1 + pool // cover the inline path (jobs=1) and worker pools
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := Map(Pool{Jobs: jobs, Limit: limit}, 12, cell); err != nil {
+				t.Errorf("jobs=%d: %v", jobs, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > capTokens {
+		t.Errorf("observed %d concurrent cells across pools, want <= %d", p, capTokens)
+	}
+}
+
+// TestLimitAcquireCancellation: a cancelled sweep must not sit in the token
+// queue — Map returns the context error instead of executing more cells.
+func TestLimitDoesNotQueueAfterCancel(t *testing.T) {
+	limit := NewLimit(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	blocker := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // occupy the only token until after the cancelled Map returns
+		defer wg.Done()
+		_, err := Map(Pool{Jobs: 1, Limit: limit}, 1, func(int) (int, error) {
+			<-blocker
+			return 0, nil
+		})
+		if err != nil {
+			t.Errorf("token holder: %v", err)
+		}
+	}()
+	// Wait for the token to be held, then cancel the second sweep.
+	for len(limit.tokens) == 0 {
+		time.Sleep(10 * time.Microsecond)
+	}
+	cancel()
+	ran := false
+	_, err := Map(Pool{Jobs: 1, Context: ctx, Limit: limit}, 1, func(int) (int, error) {
+		ran = true
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Error("cell ran despite cancelled context and exhausted limit")
+	}
+	close(blocker)
+	wg.Wait()
+}
+
+// TestLimitDefaultsToGOMAXPROCS pins the n <= 0 fallback.
+func TestLimitDefaultsToGOMAXPROCS(t *testing.T) {
+	if got := NewLimit(0).Cap(); got < 1 {
+		t.Errorf("Cap() = %d, want >= 1", got)
+	}
+}

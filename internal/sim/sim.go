@@ -243,6 +243,12 @@ type UtilSnapshot struct {
 }
 
 // Result summarizes one run.
+//
+// A Result is immutable once returned: the producing System never writes to
+// it again (Metrics is a fresh snapshot, ORAM.Epochs a finished series), and
+// every consumer — table arithmetic, artifact records, the cross-figure
+// cell cache that hands one stored Result to many requesters — only reads
+// it. TestCachedResultImmutable (internal/experiments) pins this contract.
 type Result struct {
 	Name         string
 	Cycles       uint64

@@ -1,0 +1,218 @@
+package iroram
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"iroram/internal/cellcache"
+	"iroram/internal/experiments"
+	"iroram/internal/runner"
+)
+
+// CellCache memoizes simulation cell results across experiment drivers:
+// identical (configuration, benchmark, requests, epoch-interval) cells
+// simulate once and every later requester is served the stored Result.
+// Attach one to ExperimentOptions.Cache, or let Sweep manage it. See
+// internal/cellcache for the single-flight and immutability contracts.
+type CellCache = cellcache.Cache
+
+// NewCellCache returns an empty cross-figure cell cache.
+func NewCellCache() *CellCache { return cellcache.New() }
+
+// CellCounters tallies cell requests and cache hits across experiment
+// batches; attach one to ExperimentOptions.Counters. All fields are atomic,
+// so one value may be shared by concurrently running drivers.
+type CellCounters = experiments.CellCounters
+
+// CellLimit bounds how many simulation cells execute concurrently across
+// every ExperimentOptions sharing it — the machine-wide budget when several
+// figure drivers run at once. Attach via ExperimentOptions.Limit, or let
+// Sweep manage it.
+type CellLimit = runner.Limit
+
+// NewCellLimit returns a limit admitting n concurrent cells; n <= 0 means
+// GOMAXPROCS.
+func NewCellLimit(n int) *CellLimit { return runner.NewLimit(n) }
+
+// FigureRun reports the outcome of one experiment within a Sweep.
+type FigureRun struct {
+	// Name is the experiment name the run regenerated.
+	Name string
+	// Table holds the figure's rows and series; nil when Err is set.
+	Table *Table
+	// Err is the error that stopped the figure's sweep, nil on success.
+	Err error
+	// Elapsed is the figure's wall-clock time. Under an overlapped sweep it
+	// includes time spent waiting for the shared worker budget.
+	Elapsed time.Duration
+	// Cells counts the simulation cells the figure requested (cached cells
+	// included — they still drive progress and telemetry); Hits counts how
+	// many of those were served from the shared cell cache. Under an
+	// overlapped sweep the per-figure split of hits depends on which driver
+	// reached a duplicate cell first, but the sweep-wide totals do not.
+	Cells, Hits int64
+}
+
+// Sweep runs a set of experiments as one deduplicated batch. With Dedup the
+// figures share a single cell-result cache, so a cell re-requested by
+// several drivers (the Baseline row alone is rebuilt by table2, fig2, fig12
+// and the ablations) simulates once; with Overlap every driver is submitted
+// concurrently against one shared worker budget instead of running as
+// serial barriers. Either way the printed tables and JSONL artifacts are
+// byte-identical to a plain sequential, cache-less run — memoization and
+// overlap change only where the wall-clock time goes. See the
+// internal/experiments package doc for the determinism argument.
+type Sweep struct {
+	// Options scales every figure. Its Cache, Limit, Counters and Progress
+	// fields are managed by Run and must be left nil; Artifacts, when
+	// non-nil, receives every figure's records in Names order regardless of
+	// execution order.
+	Options ExperimentOptions
+	// Names lists the experiments to run, in delivery order. Empty means
+	// FigureNames. Each must be a name Experiment accepts.
+	Names []string
+	// Dedup shares one cell-result cache across the sweep.
+	Dedup bool
+	// Overlap submits all drivers concurrently, bounded by one shared
+	// worker budget of Options.Jobs cells (GOMAXPROCS when Jobs <= 0).
+	// Tables are buffered and delivered in Names order.
+	Overlap bool
+	// ProgressFor, when non-nil, supplies the per-figure progress observer.
+	// Observer calls are serialized across the whole sweep, even when
+	// figures overlap.
+	ProgressFor func(name string) func(Progress)
+}
+
+// Run executes the sweep and calls deliver once per figure in Names order.
+// On failure, delivery stops after the failing figure's FigureRun and Run
+// returns its error; under Overlap the first failure cancels the remaining
+// drivers at the next cell boundary.
+func (s Sweep) Run(deliver func(FigureRun)) error {
+	names := s.Names
+	if len(names) == 0 {
+		names = FigureNames
+	}
+	var cache *cellcache.Cache
+	if s.Dedup {
+		cache = cellcache.New()
+	}
+	if !s.Overlap || len(names) == 1 {
+		for _, name := range names {
+			fr := s.runFigure(name, s.Options, cache)
+			deliver(fr)
+			if fr.Err != nil {
+				return fr.Err
+			}
+		}
+		return nil
+	}
+	return s.runOverlapped(names, cache, deliver)
+}
+
+// runFigure executes one experiment with private counters and reports its
+// outcome. The options value is taken by value: each figure gets its own
+// copy to mutate.
+func (s Sweep) runFigure(name string, opts ExperimentOptions, cache *cellcache.Cache) FigureRun {
+	opts.Cache = cache
+	counters := &CellCounters{}
+	opts.Counters = counters
+	if s.ProgressFor != nil {
+		opts.Progress = s.ProgressFor(name)
+	}
+	start := time.Now()
+	tab, err := Experiment(name, opts)
+	return FigureRun{
+		Name:    name,
+		Table:   tab,
+		Err:     err,
+		Elapsed: time.Since(start),
+		Cells:   counters.Cells.Load(),
+		Hits:    counters.Hits.Load(),
+	}
+}
+
+// runOverlapped fans every figure driver onto its own goroutine under one
+// shared cell budget, then merges artifacts and delivers tables in
+// canonical order. Output bytes match the sequential path exactly: each
+// figure records into a private artifact log, merged in Names order.
+func (s Sweep) runOverlapped(names []string, cache *cellcache.Cache, deliver func(FigureRun)) error {
+	outer := context.Background()
+	if s.Options.Context != nil {
+		outer = s.Options.Context
+	}
+	ctx, cancel := context.WithCancel(outer)
+	defer cancel()
+	limit := runner.NewLimit(s.Options.Jobs)
+
+	var progressMu sync.Mutex
+	results := make([]FigureRun, len(names))
+	logs := make([]*ArtifactLog, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		opts := s.Options
+		opts.Context = ctx
+		opts.Limit = limit
+		if opts.Artifacts != nil {
+			logs[i] = &ArtifactLog{}
+			opts.Artifacts = logs[i]
+		}
+		if s.ProgressFor != nil {
+			// Serialize progress observation across figures so stderr
+			// rendering and telemetry publication never race; install the
+			// wrapped observer here and keep runFigure's own hook disabled.
+			if obs := s.ProgressFor(name); obs != nil {
+				opts.Progress = func(p Progress) {
+					progressMu.Lock()
+					defer progressMu.Unlock()
+					obs(p)
+				}
+			}
+		}
+		wg.Add(1)
+		go func(i int, name string, opts ExperimentOptions) {
+			defer wg.Done()
+			sub := s
+			sub.ProgressFor = nil // observer already installed, pre-wrapped
+			fr := sub.runFigure(name, opts, cache)
+			if fr.Err != nil {
+				cancel() // first failure stops the others at a cell boundary
+			}
+			results[i] = fr
+		}(i, name, opts)
+	}
+	wg.Wait()
+
+	// Deliver the figures that completed before the first (canonical-order)
+	// failure, then the failure itself. A driver cancelled because of
+	// another driver's error reports context.Canceled; prefer the root
+	// cause as the sweep's failing figure so cancellation noise never
+	// masks it.
+	firstBad, fail := len(results), -1
+	for i := range results {
+		if results[i].Err == nil {
+			continue
+		}
+		if firstBad > i {
+			firstBad = i
+		}
+		if fail < 0 || (errors.Is(results[fail].Err, context.Canceled) &&
+			!errors.Is(results[i].Err, context.Canceled)) {
+			fail = i
+		}
+	}
+	for i := 0; i < firstBad; i++ {
+		if s.Options.Artifacts != nil && logs[i] != nil {
+			for _, rec := range logs[i].Records() {
+				s.Options.Artifacts.Add(rec)
+			}
+		}
+		deliver(results[i])
+	}
+	if fail >= 0 {
+		deliver(results[fail])
+		return results[fail].Err
+	}
+	return nil
+}
