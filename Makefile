@@ -1,28 +1,29 @@
 # Verification targets for the iroram reproduction.
 #
-#   make build      compile everything
-#   make vet        static analysis
-#   make test       unit + experiment tests (tier-1)
-#   make race       full tree under the race detector (the parallel
-#                   experiment engine must stay race-clean)
-#   make alloccheck gate: the steady-state hot paths (path access, evict,
-#                   LLC access, DWB scan, histogram observe) must not
-#                   allocate
-#   make docscheck  gate: exported facade/metrics identifiers must carry doc
-#                   comments, and docs/METRICS.md must match the metrics
-#                   registry's self-description both ways
-#   make check      all of the above — the documented verification flow
-#   make bench      benchmark harness (one benchmark per paper figure)
-#   make benchjson  performance-trajectory snapshot (BENCH_pr8.json, min of
-#                   5 reps per benchmark); fails if the quick fig10 gmeans
-#                   drift from BENCH_pr7.json
-#   make benchcmp   compare BENCH_pr8.json against BENCH_pr7.json: fails on
-#                   >10% ns/op regression or any metric drift
-#   make profile    CPU+heap profile of a quick fig10 regeneration
+#   make build       compile everything
+#   make vet         static analysis
+#   make test        unit + experiment tests (tier-1)
+#   make race        full tree under the race detector (the parallel
+#                    experiment engine must stay race-clean)
+#   make alloccheck  gate: the steady-state hot paths (path access, evict,
+#                    tree walk, tree-top find, LLC access, DWB scan,
+#                    histogram observe) must not allocate
+#   make docscheck   gate: exported facade/metrics identifiers must carry doc
+#                    comments, and docs/METRICS.md must match the metrics
+#                    registry's self-description both ways
+#   make check       all of the above — the documented verification flow
+#   make bench       benchmark harness (one benchmark per paper figure)
+#   make benchjson   performance-trajectory snapshot (BENCH_pr9.json, min of
+#                    5 reps per benchmark); fails if the quick fig10 gmeans
+#                    drift from BENCH_pr8.json
+#   make benchcmp    compare BENCH_pr9.json against BENCH_pr8.json: fails on
+#                    >10% ns/op regression or any metric drift
+#   make profile     CPU+heap profile of a quick fig10 regeneration
+#   make profile-top profile, then print the top 25 flat-cost functions
 
 GO ?= go
 
-.PHONY: build vet test race alloccheck docscheck check bench benchjson benchcmp profile
+.PHONY: build vet test race alloccheck docscheck check bench benchjson benchcmp profile profile-top
 
 build:
 	$(GO) build ./...
@@ -48,10 +49,10 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 benchjson:
-	$(GO) run ./cmd/benchjson -out BENCH_pr8.json -baseline BENCH_pr7.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr9.json -baseline BENCH_pr8.json
 
 benchcmp:
-	$(GO) run ./cmd/benchjson -diff BENCH_pr8.json -against BENCH_pr7.json
+	$(GO) run ./cmd/benchjson -diff BENCH_pr9.json -against BENCH_pr8.json
 
 profile:
 	$(GO) run ./cmd/experiments -fig fig10 -quick -progress=false \
@@ -59,3 +60,6 @@ profile:
 	@echo "wrote cpu.pprof and mem.pprof; inspect with:"
 	@echo "  $(GO) tool pprof -top cpu.pprof"
 	@echo "  $(GO) tool pprof -sample_index=alloc_space -top mem.pprof"
+
+profile-top: profile
+	$(GO) tool pprof -top -nodecount=25 cpu.pprof

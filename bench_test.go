@@ -18,7 +18,9 @@ import (
 	"iroram/internal/core"
 	"iroram/internal/dram"
 	"iroram/internal/rng"
+	"iroram/internal/stash"
 	"iroram/internal/trace"
+	"iroram/internal/tree"
 )
 
 // benchOpts is the reduced scale every figure benchmark runs at.
@@ -246,6 +248,17 @@ func BenchmarkPathAccess(b *testing.B) {
 // PR 4 open-addressed stash index serves. Body in internal/core so
 // cmd/benchjson snapshots the same code.
 func BenchmarkEvict(b *testing.B) { core.EvictBenchmark(b) }
+
+// BenchmarkTreeWalk measures one path round-trip over the bitmap-indexed
+// tree alone: the occupancy-word walk removing every block on a path, then
+// exact free-mask refills. Body in internal/tree so cmd/benchjson snapshots
+// the same code.
+func BenchmarkTreeWalk(b *testing.B) { tree.WalkBenchmark(b) }
+
+// BenchmarkTopCacheFind measures the tree-top lookup mix (hit Find, miss
+// Find, Remove+Fill churn) through the lazy address index. Body in
+// internal/stash so cmd/benchjson snapshots the same code.
+func BenchmarkTopCacheFind(b *testing.B) { stash.TopCacheFindBenchmark(b) }
 
 // BenchmarkLLCAccess measures one LLC access-or-insert with LRU tracking
 // enabled (the IR-DWB configuration: mask set indexing + summary refresh).

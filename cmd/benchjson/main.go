@@ -32,6 +32,8 @@ import (
 	"iroram/internal/dram"
 	"iroram/internal/metrics"
 	"iroram/internal/rng"
+	"iroram/internal/stash"
+	"iroram/internal/tree"
 )
 
 type benchEntry struct {
@@ -57,14 +59,19 @@ type report struct {
 // zeroAllocBenchmarks are the steady-state hot paths gated at 0 allocs/op
 // by `make alloccheck`: the end-to-end path access plus the PR 4
 // data-structure microbenchmarks (eviction round-trip, LLC access with LRU
-// tracking, DWB candidate scan) and the PR 6 histogram observation (the
-// one metrics operation on the access path).
+// tracking, DWB candidate scan), the PR 6 histogram observation (the one
+// metrics operation on the access path), and the PR 9 bitmap-engine
+// microbenchmarks (the occupancy-word tree walk, the lazily-indexed
+// tree-top lookup — whose alloc gate proves the index sweeps in place
+// instead of growing).
 var zeroAllocBenchmarks = []struct {
 	name string
 	fn   func(*testing.B)
 }{
 	{"PathAccess", benchPathAccess},
 	{"Evict", core.EvictBenchmark},
+	{"TreeWalk", tree.WalkBenchmark},
+	{"TopCacheFind", stash.TopCacheFindBenchmark},
 	{"LLCAccess", cache.AccessBenchmark},
 	{"DWBScan", cache.ScanBenchmark},
 	{"HistObserve", metrics.ObserveBenchmark},
@@ -108,7 +115,7 @@ func run() int {
 		if !ok {
 			return 1
 		}
-		fmt.Println("benchjson: PathAccess, Evict, LLCAccess, DWBScan, HistObserve all 0 allocs/op ok")
+		fmt.Println("benchjson: PathAccess, Evict, TreeWalk, TopCacheFind, LLCAccess, DWBScan, HistObserve all 0 allocs/op ok")
 		return 0
 	}
 

@@ -290,8 +290,10 @@ type System struct {
 func (s System) Validate() error {
 	o := s.ORAM
 	switch {
-	case o.Levels < 3 || o.Levels > 34:
-		return fmt.Errorf("config: ORAM levels %d out of [3,34]", o.Levels)
+	// 32 keeps every leaf below 2^31: leaves are 32-bit and the top bit is
+	// reserved as an in-flight marker (tree.GatherFlag).
+	case o.Levels < 3 || o.Levels > 32:
+		return fmt.Errorf("config: ORAM levels %d out of [3,32]", o.Levels)
 	case o.TopLevels < 0 || o.TopLevels >= o.Levels:
 		return fmt.Errorf("config: top levels %d out of [0,%d)", o.TopLevels, o.Levels)
 	case len(o.Z) != o.Levels:

@@ -55,7 +55,7 @@ func (c *Controller) pathAccessReference(now uint64, leaf block.Leaf, target blo
 	}
 
 	c.evictBuf = evictOntoPath(c.fstash, c.tr, c.top, c.o.Z, c.minLevel,
-		c.o.Levels, leaf, nil, c.evictList, c.evictBuf, c.placeMain)
+		c.o.Levels, leaf, nil, c.evictList, c.evictBuf, c.placeMainRef, nil)
 
 	c.accBuf = c.accBuf[:0]
 	for _, a := range c.physBuf {
@@ -99,7 +99,7 @@ func (c *Controller) rhoPathAccessReference(now uint64, leaf block.Leaf, target 
 		r.fstash.Insert(e)
 	}
 	c.evictBuf = evictOntoPath(r.fstash, r.tr, top, r.o.Z, r.o.TopLevels,
-		r.o.Levels, leaf, nil, c.evictList, c.evictBuf, nil)
+		r.o.Levels, leaf, nil, c.evictList, c.evictBuf, nil, nil)
 
 	c.accBuf = c.accBuf[:0]
 	for _, a := range c.physBuf {

@@ -48,6 +48,6 @@ func EvictBenchmark(b *testing.B) {
 			c.fstash.Insert(e)
 		}
 		c.evictBuf = evictOntoPath(c.fstash, c.tr, c.top, c.o.Z, c.minLevel,
-			c.o.Levels, leaf, nil, c.evictList, c.evictBuf, nil)
+			c.o.Levels, leaf, nil, c.evictList, c.evictBuf, nil, nil)
 	}
 }

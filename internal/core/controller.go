@@ -77,14 +77,23 @@ type Controller struct {
 	// Scratch buffers reused across path accesses, so the steady-state hot
 	// path allocates nothing (guarded by TestPathAccessZeroAllocs and the
 	// make-check benchmark gate).
-	physBuf   []uint64
-	accBuf    []dram.Access // cold paths only: ring reshuffles, context switch
-	fetched   *epochSet     // blocks brought in by the current path access
+	physBuf []uint64
+	accBuf  []dram.Access // cold paths only: ring reshuffles, context switch
+	// fetched serves only the reference pipeline (access_reference.go): it
+	// rebuilds per-path membership that the fused pipeline carries for free
+	// on the entries themselves via tree.GatherFlag.
+	fetched   *pathSet
 	readBuf   []tree.Entry   // read-phase entries (tree + top segment)
 	evictList [][]tree.Entry // per-level candidates for evictOntoPath
 	evictBuf  []tree.Entry   // eviction candidate pool / spillover
 	gathered  []tree.Entry   // read-walk scratch: path blocks bound for the drain
-	placeMain func(tree.Entry, int) // recordMigration adapter, built once
+	// Migration-split plumbing for evictOntoPath, built once. The fused
+	// pipeline tallies placements in bulk (migCounts, flushed into the
+	// per-level histograms after the write phase); placeMainRef serves
+	// evictOntoPathReference, which never flags entries, and consults the
+	// fetched set per entry instead.
+	migCounts    *placeCounts
+	placeMainRef func(tree.Entry, int, bool)
 
 	// Fused-gather state: gatherMain/gatherRho are built once and walk the
 	// tree + top segment of a path, moving blocks straight into the stash
@@ -125,8 +134,11 @@ func NewController(cfg config.System, mem *dram.Model, r *rng.Source) (*Controll
 		minLevel:  minLevel,
 		evictList: make([][]tree.Entry, o.Levels),
 	}
-	c.fetched = newEpochSet(int(c.pm.Total()))
-	c.placeMain = func(e tree.Entry, level int) { c.recordMigration(e.Addr, level) }
+	// Sized to one path: membership never outlives a Reset, and a path
+	// gathers at most its full (top + memory) block count.
+	c.fetched = newPathSet(o.Z.BlocksPerPath(0))
+	c.migCounts = newPlaceCounts(o.Levels)
+	c.placeMainRef = func(e tree.Entry, level int, _ bool) { c.recordMigration(e.Addr, level) }
 	c.nPathBlocks = o.Z.BlocksPerPath(minLevel)
 	c.sched = newPathSched(mem, cfg.DRAM.PathSchedSlots, o.LeafCount(), c.nPathBlocks, 0)
 	// The gather closures stage path blocks in c.gathered instead of
@@ -135,9 +147,12 @@ func NewController(cfg config.System, mem *dram.Model, r *rng.Source) (*Controll
 	// hash insert plus a swap-maintaining removal per block) is the single
 	// largest per-path cost the fused pipeline eliminates. DrainForPath
 	// folds the staged blocks in with the exact ordering the insert/remove
-	// sequence would have produced.
+	// sequence would have produced. Staged entries carry tree.GatherFlag —
+	// the this-path provenance bit the write phase strips into onPlace's
+	// fetched argument — so no membership set is consulted per placement.
+	// The extracted target never reaches the write phase flagged: it is
+	// remapped and re-Inserted (or parked in the LLC) by the caller.
 	c.gatherMain = func(e tree.Entry, level int) {
-		c.fetched.Add(e.Addr)
 		if e.Addr == c.gTarget {
 			c.gFound = true
 			if level >= c.minLevel {
@@ -145,6 +160,7 @@ func NewController(cfg config.System, mem *dram.Model, r *rng.Source) (*Controll
 			}
 			return
 		}
+		e.Leaf |= tree.GatherFlag
 		c.gathered = append(c.gathered, e)
 	}
 	c.gatherRho = func(e tree.Entry, level int) {
@@ -152,6 +168,7 @@ func NewController(cfg config.System, mem *dram.Model, r *rng.Source) (*Controll
 			c.gFound = true
 			return
 		}
+		e.Leaf |= tree.GatherFlag
 		c.gathered = append(c.gathered, e)
 	}
 	switch cfg.Scheme.Top {
@@ -309,7 +326,6 @@ func (c *Controller) pathAccess(now uint64, leaf block.Leaf, target block.ID,
 
 	// Walk 1: gather. Every real block on the path moves straight into the
 	// stash (or is extracted, if it is the target) as it is removed.
-	c.fetched.Reset()
 	c.gathered = c.gathered[:0]
 	c.gTarget, c.gFound, c.gLevel = target, false, -1
 	c.tr.ReadPathEach(leaf, c.gatherMain)
@@ -321,8 +337,16 @@ func (c *Controller) pathAccess(now uint64, leaf block.Leaf, target block.ID,
 	// Walk 2: single-pass deepest-first eviction, memory levels bulk
 	// filled and the on-chip segment honoring S-Stash conflict refusals
 	// ("skip picking this block for this round"). See eviction.go.
+	c.migCounts.reset()
 	c.evictBuf = evictOntoPath(c.fstash, c.tr, c.top, c.o.Z, c.minLevel,
-		c.o.Levels, leaf, c.gathered, c.evictList, c.evictBuf, c.placeMain)
+		c.o.Levels, leaf, c.gathered, c.evictList, c.evictBuf, nil, c.migCounts)
+	for l, p := range c.migCounts.placed {
+		if p > 0 {
+			f := c.migCounts.fetched[l]
+			c.st.MigrationFetched.AddN(l, uint64(f))
+			c.st.MigrationPreexisting.AddN(l, uint64(p-f))
+		}
+	}
 
 	// Write phase DRAM traffic: the same physical blocks, written. The
 	// batch is posted (its completion time is not waited on); it occupies

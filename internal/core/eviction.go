@@ -38,13 +38,40 @@ import (
 // shallower levels, exactly like the reference scan. Entries that fit
 // nowhere return to the stash.
 //
+// placeCounts receives the aggregate placement tally of one write phase:
+// placed[l] blocks landed at level l, fetched[l] of which were gathered by
+// the current access (carried tree.GatherFlag). It is the bulk alternative
+// to the per-entry onPlace callback for callers — the demand pipeline —
+// that only chart the migration split: tallying two ints per FILL beats an
+// indirect call per BLOCK on the hottest loop in the simulator. Slices must
+// hold `levels` elements; evictOntoPath adds to them without clearing.
+type placeCounts struct {
+	placed  []int
+	fetched []int
+}
+
+func newPlaceCounts(levels int) *placeCounts {
+	return &placeCounts{placed: make([]int, levels), fetched: make([]int, levels)}
+}
+
+func (p *placeCounts) reset() {
+	clear(p.placed)
+	clear(p.fetched)
+}
+
 // lists (at least `levels` slices) and buf are caller-owned scratch reused
-// across paths; onPlace, when non-nil, observes every placement. The
-// returned slice is buf's (possibly grown) backing for the caller to keep.
+// across paths; onPlace, when non-nil, observes every placement along with
+// whether the placed block was gathered by the current path access
+// (carried by tree.GatherFlag on gathered entries' leaves and stripped
+// here before any entry reaches storage). counts, when non-nil, receives
+// the aggregate per-level tally instead; passing both is allowed but the
+// demand pipeline passes exactly one. The returned slice is buf's
+// (possibly grown) backing for the caller to keep.
 func evictOntoPath(fs *stash.FStash, tr *tree.Tree, top stash.TopStore,
 	z config.ZProfile, minLevel, levels int, leaf block.Leaf,
 	gathered []tree.Entry, lists [][]tree.Entry, buf []tree.Entry,
-	onPlace func(e tree.Entry, level int)) []tree.Entry {
+	onPlace func(e tree.Entry, level int, fetched bool),
+	counts *placeCounts) []tree.Entry {
 
 	low := minLevel
 	if top != nil {
@@ -64,52 +91,109 @@ func evictOntoPath(fs *stash.FStash, tr *tree.Tree, top stash.TopStore,
 		fs.DrainForPath(leaf, levels, lists, gathered)
 	} else {
 		for _, e := range gathered {
+			e.Leaf &^= tree.GatherFlag
 			fs.Insert(e)
 		}
 		fs.TakeForPath(leaf, low, levels, lists)
 	}
 
-	// buf[head:] is the candidate pool for the current level: entries whose
-	// deepest placeable level was deeper but which did not fit there. Each
-	// level appends its own deepest-here entries behind the spillover, so
-	// pool order is deterministic: deeper-classified entries first.
-	buf = buf[:0]
-	head := 0
+	// The candidate pool for the current level is the entries whose deepest
+	// placeable level was at or below it but which did not fit deeper. Pool
+	// order is deterministic — deeper-classified entries first — and the
+	// pool is consumed as a virtual FIFO straight out of the per-level
+	// lists (cur/off mark the first unconsumed entry; lists[l] joins the
+	// pool when the walk reaches level l), so the memory-resident fill
+	// copies nothing. The fill cap of a level is its bucket's full capacity
+	// z[l]: every caller runs the write phase immediately after the read
+	// phase drained each bucket on the path, so all slots are free — no
+	// occupancy query needed, and FillBucket still panics if the
+	// precondition is ever violated. A take that straddles a list boundary
+	// becomes consecutive FillBucket calls, which claim free slots in
+	// exactly the order one call would.
+	cur, off := levels-1, 0
 	for l := levels - 1; l >= minLevel; l-- {
-		buf = append(buf, lists[l]...)
-		n := z[l]
-		if avail := len(buf) - head; n > avail {
-			n = avail
-		}
-		take := buf[head : head+n]
-		if onPlace != nil {
-			for _, e := range take {
-				onPlace(e, l)
+		for n := z[l]; n > 0; {
+			if off == len(lists[cur]) {
+				if cur == l {
+					break
+				}
+				cur--
+				off = 0
+				continue
 			}
+			take := lists[cur][off:]
+			if len(take) > n {
+				take = take[:n]
+			}
+			switch {
+			case onPlace != nil:
+				for i := range take {
+					fetched := take[i].Leaf&tree.GatherFlag != 0
+					take[i].Leaf &^= tree.GatherFlag
+					onPlace(take[i], l, fetched)
+					if counts != nil {
+						counts.placed[l]++
+						if fetched {
+							counts.fetched[l]++
+						}
+					}
+				}
+			case counts != nil:
+				f := 0
+				for i := range take {
+					if take[i].Leaf&tree.GatherFlag != 0 {
+						f++
+					}
+					take[i].Leaf &^= tree.GatherFlag
+				}
+				counts.placed[l] += len(take)
+				counts.fetched[l] += f
+			default:
+				for i := range take {
+					take[i].Leaf &^= tree.GatherFlag
+				}
+			}
+			tr.FillBucket(l, leaf, take)
+			off += len(take)
+			n -= len(take)
 		}
-		tr.FillBucket(l, leaf, take)
-		head += n
+	}
+	// Materialize the (typically small) leftover pool: spillover plus the
+	// on-chip classified entries, in the virtual pool's order.
+	buf = buf[:0]
+	buf = append(buf, lists[cur][off:]...)
+	for ll := cur - 1; ll >= minLevel; ll-- {
+		buf = append(buf, lists[ll]...)
 	}
 	if top != nil {
 		for l := minLevel - 1; l >= 0; l-- {
 			buf = append(buf, lists[l]...)
-			placed, w := 0, head
-			for r := head; r < len(buf); r++ {
+			placed, w := 0, 0
+			for r := 0; r < len(buf); r++ {
 				e := buf[r]
+				fetched := e.Leaf&tree.GatherFlag != 0
+				e.Leaf &^= tree.GatherFlag
 				if placed < z[l] && top.Fill(l, leaf, e) {
 					if onPlace != nil {
-						onPlace(e, l)
+						onPlace(e, l, fetched)
+					}
+					if counts != nil {
+						counts.placed[l]++
+						if fetched {
+							counts.fetched[l]++
+						}
 					}
 					placed++
 					continue
 				}
-				buf[w] = e
+				buf[w] = buf[r] // refused: keep the flag for shallower levels
 				w++
 			}
 			buf = buf[:w]
 		}
 	}
-	for _, e := range buf[head:] {
+	for _, e := range buf {
+		e.Leaf &^= tree.GatherFlag
 		fs.Insert(e)
 	}
 	return buf[:0]
@@ -122,16 +206,19 @@ func evictOntoPath(fs *stash.FStash, tr *tree.Tree, top stash.TopStore,
 // refused and takeBuf are caller-owned scratch (refused is an epoch-stamped
 // set reset per level, preserving the historical retry-at-shallower-levels
 // semantics with an O(1) clear instead of a map walk).
+// Reference entries are never flagged (its callers pre-Insert gathered
+// blocks into the stash), so it reports fetched=false and its onPlace
+// adapters derive the migration split from a membership set instead.
 func evictOntoPathReference(fs *stash.FStash, tr *tree.Tree, top stash.TopStore,
 	z config.ZProfile, minLevel, levels int, leaf block.Leaf,
 	refused *epochSet, takeBuf []tree.Entry,
-	onPlace func(e tree.Entry, level int)) {
+	onPlace func(e tree.Entry, level int, fetched bool)) {
 
 	for l := levels - 1; l >= minLevel; l-- {
 		take := fs.TakeForBucket(leaf, l, levels, z[l], nil, takeBuf[:0])
 		if onPlace != nil {
 			for _, e := range take {
-				onPlace(e, l)
+				onPlace(e, l, false)
 			}
 		}
 		tr.FillBucket(l, leaf, take)
@@ -150,7 +237,7 @@ func evictOntoPathReference(fs *stash.FStash, tr *tree.Tree, top stash.TopStore,
 			e := cand[0]
 			if top.Fill(l, leaf, e) {
 				if onPlace != nil {
-					onPlace(e, l)
+					onPlace(e, l, false)
 				}
 				placed++
 			} else {

@@ -80,16 +80,16 @@ func TestEvictionDifferential(t *testing.T) {
 				clear(refCounts)
 				c.evictBuf = evictOntoPath(c.fstash, c.tr, c.top, c.o.Z,
 					c.minLevel, c.o.Levels, leaf, nil, c.evictList, c.evictBuf,
-					func(e tree.Entry, l int) {
+					func(e tree.Entry, l int, _ bool) {
 						liveCounts[l]++
 						if !tree.SameSubtree(leaf, e.Leaf, l, c.o.Levels) {
 							t.Fatalf("access %d: illegal placement of %v (leaf %d) at level %d of path %d",
 								i, e.Addr, e.Leaf, l, leaf)
 						}
-					})
+					}, nil)
 				evictOntoPathReference(shadow, shadowTr, shadowTop, c.o.Z,
 					c.minLevel, c.o.Levels, leaf, refused, takeBuf,
-					func(e tree.Entry, l int) { refCounts[l]++ })
+					func(e tree.Entry, l int, _ bool) { refCounts[l]++ })
 
 				for l := range liveCounts {
 					if liveCounts[l] != refCounts[l] {
@@ -104,6 +104,162 @@ func TestEvictionDifferential(t *testing.T) {
 				if got, want := c.fstash.Len(), shadow.Len(); got != want {
 					t.Fatalf("access %d: stash residue diverges: single-pass %d, reference %d", i, got, want)
 				}
+				c.mem.PostWritePath(now, c.layout.PathPhys(leaf, c.physBuf[:0]), 0)
+
+				if i%500 == 0 {
+					if err := c.CheckInvariants(); err != nil {
+						t.Fatalf("access %d: %v", i, err)
+					}
+				}
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestEvictionGatherFlagDifferential exercises the fused pipeline's calling
+// convention: the path's just-read blocks arrive as GatherFlag-marked
+// gathered entries (never touching the stash index), while the reference
+// oracle gets the same blocks pre-Inserted unflagged — the historical
+// shape. Beyond the placement-count and stash-residue parity of
+// TestEvictionDifferential, it pins the provenance plumbing itself: every
+// placement's fetched bit must equal gathered-set membership, no entry may
+// reach onPlace still flagged, and no flag may survive into the stash
+// residue (a leaked bit would corrupt the next access's leaf arithmetic).
+// A third run per access replays the same inputs through the counts-only
+// calling convention — the demand pipeline's bulk-tally branch, which has
+// no per-entry callback — and checks its per-level placed/fetched tallies
+// against the closure-derived ones.
+func TestEvictionGatherFlagDifferential(t *testing.T) {
+	schemes := []config.Scheme{
+		config.Baseline(),
+		{Name: "NoTop", Top: config.TopNone},
+	}
+	for _, sch := range schemes {
+		sch := sch
+		t.Run(sch.Name, func(t *testing.T) {
+			cfg := config.Tiny().WithScheme(sch)
+			mem := dram.New(cfg.DRAM)
+			c, err := NewController(cfg, mem, rng.New(21))
+			if err != nil {
+				t.Fatal(err)
+			}
+			is := NewIssuer(c, nil)
+			r := rng.New(22)
+			nd := cfg.ORAM.DataBlocks()
+
+			liveCounts := make([]int, c.o.Levels)
+			liveFetched := make([]int, c.o.Levels)
+			refCounts := make([]int, c.o.Levels)
+			refused := newEpochSet(int(c.pm.Total()))
+			takeBuf := make([]tree.Entry, 0, 64)
+			gatheredSet := make(map[block.ID]bool)
+			bulk := newPlaceCounts(c.o.Levels)
+			var gathered2, bulkBuf []tree.Entry
+			now := uint64(0)
+
+			const accesses = 2000
+			for i := 0; i < accesses; i++ {
+				now = is.ReadBlock(now, block.ID(r.Uint64n(nd)))
+
+				// Gather the path the fused way: blocks staged (flagged)
+				// instead of stash-inserted.
+				leaf := block.Leaf(r.Uint64n(c.o.LeafCount()))
+				c.gathered = c.gathered[:0]
+				clear(gatheredSet)
+				gather := func(e tree.Entry, _ int) {
+					gatheredSet[e.Addr] = true
+					e.Leaf |= tree.GatherFlag
+					c.gathered = append(c.gathered, e)
+				}
+				c.tr.ReadPathEach(leaf, gather)
+				if c.top != nil {
+					c.top.ReadPathEach(leaf, gather)
+				}
+
+				// Oracle state: the resident stash in storage order, then the
+				// gathered blocks appended unflagged — the pre-fused shape.
+				shadow := stash.NewFStash(c.fstash.Capacity())
+				c.fstash.Each(func(e tree.Entry) { shadow.Insert(e) })
+				for _, e := range c.gathered {
+					e.Leaf &^= tree.GatherFlag
+					shadow.Insert(e)
+				}
+				shadowTr := tree.New(c.o, c.minLevel)
+				var shadowTop stash.TopStore
+				if c.top != nil {
+					shadowTop = stash.NewTopCache(c.o.Levels, c.o.TopLevels, c.o.Z)
+				}
+
+				// Replay state for the bulk-tally convention: the same inputs
+				// the live call is about to consume (resident stash clone in
+				// storage order, flagged gathered copy, freshly-drained path
+				// buckets), snapshotted before the live call mutates them.
+				shadow2 := stash.NewFStash(c.fstash.Capacity())
+				c.fstash.Each(func(e tree.Entry) { shadow2.Insert(e) })
+				gathered2 = append(gathered2[:0], c.gathered...)
+				shadowTr2 := tree.New(c.o, c.minLevel)
+				var shadowTop2 stash.TopStore
+				if c.top != nil {
+					shadowTop2 = stash.NewTopCache(c.o.Levels, c.o.TopLevels, c.o.Z)
+				}
+
+				clear(liveCounts)
+				clear(liveFetched)
+				clear(refCounts)
+				c.evictBuf = evictOntoPath(c.fstash, c.tr, c.top, c.o.Z,
+					c.minLevel, c.o.Levels, leaf, c.gathered, c.evictList, c.evictBuf,
+					func(e tree.Entry, l int, fetched bool) {
+						liveCounts[l]++
+						if fetched {
+							liveFetched[l]++
+						}
+						if e.Leaf&tree.GatherFlag != 0 {
+							t.Fatalf("access %d: entry %v reached onPlace still flagged", i, e.Addr)
+						}
+						if want := gatheredSet[e.Addr]; fetched != want {
+							t.Fatalf("access %d: %v placed with fetched=%v, gathered set says %v",
+								i, e.Addr, fetched, want)
+						}
+					}, nil)
+
+				// Bulk replay: identical inputs through the counts-only branch
+				// (no per-entry callback — the demand pipeline's shape). Block
+				// selection is deterministic in the inputs, so the tallies must
+				// equal the closure-derived ones exactly.
+				bulk.reset()
+				bulkBuf = evictOntoPath(shadow2, shadowTr2, shadowTop2, c.o.Z,
+					c.minLevel, c.o.Levels, leaf, gathered2, c.evictList, bulkBuf,
+					nil, bulk)
+				for l := 0; l < c.o.Levels; l++ {
+					if bulk.placed[l] != liveCounts[l] || bulk.fetched[l] != liveFetched[l] {
+						t.Fatalf("access %d level %d: bulk tally (placed %d, fetched %d), closure (placed %d, fetched %d)",
+							i, l, bulk.placed[l], bulk.fetched[l], liveCounts[l], liveFetched[l])
+					}
+				}
+				if got, want := shadow2.Len(), c.fstash.Len(); got != want {
+					t.Fatalf("access %d: bulk-replay stash residue %d, live %d", i, got, want)
+				}
+				evictOntoPathReference(shadow, shadowTr, shadowTop, c.o.Z,
+					c.minLevel, c.o.Levels, leaf, refused, takeBuf,
+					func(e tree.Entry, l int, _ bool) { refCounts[l]++ })
+
+				for l := range liveCounts {
+					if liveCounts[l] != refCounts[l] {
+						t.Fatalf("access %d leaf %d: placement counts diverge at level %d: fused %v, reference %v",
+							i, leaf, l, liveCounts, refCounts)
+					}
+				}
+				if got, want := c.fstash.Len(), shadow.Len(); got != want {
+					t.Fatalf("access %d: stash residue diverges: fused %d, reference %d", i, got, want)
+				}
+				c.fstash.Each(func(e tree.Entry) {
+					if e.Leaf&tree.GatherFlag != 0 {
+						t.Fatalf("access %d: flag leaked into stash residue on %v", i, e.Addr)
+					}
+				})
 				c.mem.PostWritePath(now, c.layout.PathPhys(leaf, c.physBuf[:0]), 0)
 
 				if i%500 == 0 {

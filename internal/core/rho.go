@@ -139,7 +139,7 @@ func (c *Controller) rhoPathAccess(now uint64, leaf block.Leaf, target block.ID,
 	// Write phase: the same single-pass eviction as the main tree, reusing
 	// the controller's scratch (the two trees never evict concurrently).
 	c.evictBuf = evictOntoPath(r.fstash, r.tr, top, r.o.Z, r.o.TopLevels,
-		r.o.Levels, leaf, c.gathered, c.evictList, c.evictBuf, nil)
+		r.o.Levels, leaf, c.gathered, c.evictList, c.evictBuf, nil, nil)
 
 	// As in the main tree, the write phase is posted to DRAM.
 	var writeDone uint64

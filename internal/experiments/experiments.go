@@ -34,6 +34,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"iroram/internal/cellcache"
@@ -100,14 +101,38 @@ type Options struct {
 	Counters *CellCounters
 }
 
-// CellCounters tallies cell requests and cache hits across batches. All
-// fields are atomic; one value may be shared by concurrently running
-// drivers.
+// CellCounters tallies cell requests and cache hits across batches. One
+// value may be shared by concurrently running drivers: the counters are
+// atomic and the key log locks.
 type CellCounters struct {
 	// Cells counts every cell requested, cached or not.
 	Cells atomic.Int64
-	// Hits counts the cells served from the cross-figure cache.
+	// Hits counts the cells served from the cross-figure cache. Which
+	// requester of a duplicated cell records the hit depends on scheduling
+	// (the loser of the single-flight race hits); totals across every
+	// counter sharing a cache are scheduling-independent, but a per-figure
+	// split wants Keys replayed instead — see Sweep.
 	Hits atomic.Int64
+
+	mu   sync.Mutex
+	keys []string
+}
+
+// RecordKey logs the cache key of one requested cell. The multiset of keys
+// is a pure function of the batch's option set; the order is whatever the
+// worker schedule produced and carries no meaning.
+func (c *CellCounters) RecordKey(key string) {
+	c.mu.Lock()
+	c.keys = append(c.keys, key)
+	c.mu.Unlock()
+}
+
+// Keys returns the logged cell keys. The caller must not retain the slice
+// past the counters' next RecordKey.
+func (c *CellCounters) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.keys
 }
 
 // Default returns the scaled full-fidelity options used by cmd/experiments.
@@ -252,6 +277,9 @@ func (o Options) runCell(c cell) (sim.Result, error) {
 		return c.run(o.Requests, o.EpochInterval)
 	}
 	key := cellcache.Key(c.cfg, c.bench, o.Requests, o.EpochInterval)
+	if o.Counters != nil {
+		o.Counters.RecordKey(key)
+	}
 	res, hit, err := o.Cache.Do(key, func() (sim.Result, error) {
 		return c.run(o.Requests, o.EpochInterval)
 	})

@@ -145,6 +145,10 @@ func NewLinearHist(n int) *LinearHist {
 // Add increments bucket i.
 func (h *LinearHist) Add(i int) { h.Counts[i]++ }
 
+// AddN adds n to bucket i — the bulk form for callers that tally a batch
+// locally and flush once.
+func (h *LinearHist) AddN(i int, n uint64) { h.Counts[i] += n }
+
 // Total returns the histogram mass.
 func (h *LinearHist) Total() uint64 {
 	var n uint64

@@ -148,8 +148,14 @@ func (t *AddrTable) Delete(id block.ID) bool {
 		}
 		i = (i + 1) & t.mask
 	}
-	// Backward-shift: walk the chain after i; any entry whose home slot is
-	// NOT in the cyclic interval (i, j] may legally move into the hole.
+	t.deleteAt(i)
+	return true
+}
+
+// deleteAt vacates occupied slot i and back-shifts the probe chain after
+// it: any entry whose home slot is NOT in the cyclic interval (i, j] may
+// legally move into the hole.
+func (t *AddrTable) deleteAt(i uint64) {
 	j := i
 	for {
 		j = (j + 1) & t.mask
@@ -173,7 +179,29 @@ func (t *AddrTable) Delete(id block.ID) bool {
 	}
 	t.keys[i] = block.Invalid
 	t.n--
-	return true
+}
+
+// Full reports whether the next insert of a new key would trigger a
+// doubling. Callers that tolerate stale entries (the lazy TopCache index)
+// check it before Put and Sweep instead, so a pre-sized table never grows
+// — and therefore never allocates — in steady state.
+func (t *AddrTable) Full() bool { return t.n >= t.grow }
+
+// Sweep deletes, in place and without allocating, every entry for which
+// keep returns false. keep must be a pure predicate of current caller
+// state: entries relocated by the back-shifts are re-examined under the
+// same predicate, so a sweep terminates with exactly the kept entries.
+func (t *AddrTable) Sweep(keep func(id block.ID, v uint32) bool) {
+	for i := uint64(0); i < uint64(len(t.keys)); {
+		k := t.keys[i]
+		if k == block.Invalid || keep(k, t.vals[i]) {
+			i++
+			continue
+		}
+		// deleteAt may back-shift a later chain entry into slot i; do not
+		// advance, so the new occupant is examined too.
+		t.deleteAt(i)
+	}
 }
 
 func (t *AddrTable) rehash(slots int) {

@@ -205,9 +205,12 @@ func (s *FStash) DrainForPath(leaf block.Leaf, levels int, perLevel [][]tree.Ent
 	s.items = s.items[:0]
 }
 
-// drainVisit classifies one drained entry into its deepest placeable level.
+// drainVisit classifies one drained entry into its deepest placeable
+// level. The gather walk may have marked extra entries with
+// tree.GatherFlag; the flag is masked out of the leaf arithmetic but rides
+// along on the appended entry for the write phase to consume.
 func drainVisit(leaf block.Leaf, levels int, perLevel [][]tree.Entry, e tree.Entry) {
-	d := tree.DeepestLevel(leaf, e.Leaf, levels)
+	d := tree.DeepestLevel(leaf, e.Leaf&^tree.GatherFlag, levels)
 	perLevel[d] = append(perLevel[d], e)
 }
 

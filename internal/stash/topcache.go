@@ -48,13 +48,41 @@ type AddrIndex interface {
 // tree position only. The LLC cannot search it by address, so a request
 // must resolve its PosMap entry before a tree-top hit can be discovered —
 // the PosMap waste IR-Stash eliminates.
+//
+// Storage is the same SoA layout as tree.Tree (parallel slotAddr/slotLeaf
+// arrays), so the controller's fused walk runs the identical inner loop
+// over the on-chip and memory-resident segments. Each heap-indexed node
+// (node of level l, index i = 2^l + i) owns the fixed slot range
+// [nodeLo[n], nodeLo[n]+z[l]); its live entries are the dense prefix of
+// length cnt[n], appended to by Fill and compacted by Remove's
+// swap-with-last — the exact array dynamics of the historical per-node
+// slices, so ReadPath emission order is unchanged.
+//
+// An AddrTable maps addresses to their global slot, making Find and Remove
+// O(1) instead of a scan over every node on the path. The index is lazy:
+// Fill and the Remove swap keep every RESIDENT block's mapping current,
+// but eviction walks and removals leave the departing key's entry behind
+// as garbage rather than paying a backward-shift delete per block on the
+// hot path. Lookups verify a mapping against the store (the slot's live
+// prefix and its recorded address) before trusting it, which is sound
+// because a resident block always has an up-to-date mapping — a stale
+// entry can only belong to an absent block or point at a reused slot, and
+// both fail verification. When garbage would force the table to grow, Fill
+// sweeps the dead entries out in place instead, so the index never
+// allocates after construction.
 type TopCache struct {
 	topLevels int
 	levels    int
 	z         []int
-	// nodes is heap-indexed: node of (level l, index i) = 2^l + i.
-	nodes    [][]tree.Entry
-	occupied []uint64
+	occupied  []uint64
+
+	slotAddr []uint32
+	slotLeaf []uint32
+	nodeLo   []uint32 // heap node -> first slot of its range
+	cnt      []uint16 // heap node -> live-prefix length
+	slotNode []uint32   // slot -> owning heap node (static)
+	slotLvl  []uint8    // slot -> level (static)
+	index    *AddrTable // addr -> global slot; lazy, verify before trusting
 }
 
 // NewTopCache allocates an empty cache for levels [0, topLevels) of a tree
@@ -63,13 +91,49 @@ func NewTopCache(levels, topLevels int, z []int) *TopCache {
 	if topLevels <= 0 || topLevels >= levels {
 		panic(fmt.Sprintf("stash: topLevels %d out of (0,%d)", topLevels, levels))
 	}
-	return &TopCache{
+	t := &TopCache{
 		topLevels: topLevels,
 		levels:    levels,
 		z:         append([]int(nil), z...),
-		nodes:     make([][]tree.Entry, 1<<uint(topLevels)),
 		occupied:  make([]uint64, topLevels),
+		nodeLo:    make([]uint32, 1<<uint(topLevels)),
+		cnt:       make([]uint16, 1<<uint(topLevels)),
 	}
+	var slots uint32
+	for l := 0; l < topLevels; l++ {
+		for i := 0; i < 1<<uint(l); i++ {
+			n := (1 << uint(l)) + i
+			t.nodeLo[n] = slots
+			slots += uint32(z[l])
+		}
+	}
+	t.slotAddr = make([]uint32, slots)
+	t.slotLeaf = make([]uint32, slots)
+	t.slotNode = make([]uint32, slots)
+	t.slotLvl = make([]uint8, slots)
+	for l := 0; l < topLevels; l++ {
+		for i := 0; i < 1<<uint(l); i++ {
+			n := (1 << uint(l)) + i
+			lo := t.nodeLo[n]
+			for s := lo; s < lo+uint32(z[l]); s++ {
+				t.slotNode[s] = uint32(n)
+				t.slotLvl[s] = uint8(l)
+			}
+		}
+	}
+	// Doubly oversized (4x the live-entry bound) so lazy garbage forces an
+	// in-place sweep only once per couple hundred fills. Not larger: the
+	// table competes with the slot arrays for L1, and a bigger, colder
+	// index costs more per Put than the rarer sweeps save.
+	t.index = NewAddrTable(2 * int(slots))
+	return t
+}
+
+// liveAt reports whether the index mapping id -> s is current: s must sit
+// in its node's live prefix and still hold id.
+func (t *TopCache) liveAt(id block.ID, s uint32) bool {
+	n := t.slotNode[s]
+	return s-t.nodeLo[n] < uint32(t.cnt[n]) && t.slotAddr[s] == uint32(id)
 }
 
 func (t *TopCache) node(level int, leaf block.Leaf) int {
@@ -82,9 +146,12 @@ func (t *TopCache) ReadPath(leaf block.Leaf, dst []tree.Entry) []tree.Entry {
 	out := dst
 	for l := 0; l < t.topLevels; l++ {
 		n := t.node(l, leaf)
-		out = append(out, t.nodes[n]...)
-		t.occupied[l] -= uint64(len(t.nodes[n]))
-		t.nodes[n] = t.nodes[n][:0]
+		lo, c := t.nodeLo[n], uint32(t.cnt[n])
+		t.occupied[l] -= uint64(c)
+		t.cnt[n] = 0
+		for s := lo; s < lo+c; s++ {
+			out = append(out, tree.Entry{Addr: block.ID(t.slotAddr[s]), Leaf: block.Leaf(t.slotLeaf[s])})
+		}
 	}
 	return out
 }
@@ -93,11 +160,11 @@ func (t *TopCache) ReadPath(leaf block.Leaf, dst []tree.Entry) []tree.Entry {
 func (t *TopCache) ReadPathEach(leaf block.Leaf, visit func(tree.Entry, int)) {
 	for l := 0; l < t.topLevels; l++ {
 		n := t.node(l, leaf)
-		bucket := t.nodes[n]
-		t.occupied[l] -= uint64(len(bucket))
-		t.nodes[n] = bucket[:0]
-		for _, e := range bucket {
-			visit(e, l)
+		lo, c := t.nodeLo[n], uint32(t.cnt[n])
+		t.occupied[l] -= uint64(c)
+		t.cnt[n] = 0
+		for s := lo; s < lo+c; s++ {
+			visit(tree.Entry{Addr: block.ID(t.slotAddr[s]), Leaf: block.Leaf(t.slotLeaf[s])}, l)
 		}
 	}
 }
@@ -106,45 +173,65 @@ func (t *TopCache) ReadPathEach(leaf block.Leaf, visit func(tree.Entry, int)) {
 // so it only refuses when the bucket is at capacity.
 func (t *TopCache) Fill(level int, leaf block.Leaf, e tree.Entry) bool {
 	n := t.node(level, leaf)
-	if len(t.nodes[n]) >= t.z[level] {
+	if int(t.cnt[n]) >= t.z[level] {
 		return false
 	}
 	if !tree.SameSubtree(leaf, e.Leaf, level, t.levels) {
 		panic(fmt.Sprintf("stash: block %v (leaf %d) misplaced at top level %d of path %d",
 			e.Addr, e.Leaf, level, leaf))
 	}
-	t.nodes[n] = append(t.nodes[n], e)
+	s := t.nodeLo[n] + uint32(t.cnt[n])
+	t.slotAddr[s] = uint32(e.Addr)
+	t.slotLeaf[s] = uint32(e.Leaf)
+	t.cnt[n]++
 	t.occupied[level]++
+	if t.index.Full() {
+		t.index.Sweep(t.liveAt)
+	}
+	t.index.Put(e.Addr, s)
 	return true
 }
 
-// Find implements TopStore.
+// Find implements TopStore: one verified index probe instead of a scan
+// over every node on the path. The node check rejects blocks resident in
+// the cache but not on this leaf's path.
 func (t *TopCache) Find(addr block.ID, leaf block.Leaf) (int, bool) {
-	for l := 0; l < t.topLevels; l++ {
-		for _, e := range t.nodes[t.node(l, leaf)] {
-			if e.Addr == addr {
-				return l, true
-			}
-		}
+	s, ok := t.index.Get(addr)
+	if !ok || !t.liveAt(addr, s) {
+		return 0, false
 	}
-	return 0, false
+	l := int(t.slotLvl[s])
+	if int(t.slotNode[s]) != t.node(l, leaf) {
+		return 0, false
+	}
+	return l, true
 }
 
-// Remove implements TopStore.
+// Remove implements TopStore: verified index lookup, then swap-with-last
+// compaction of the owning node's live prefix (the historical slice
+// dynamics). The removed key's index entry is left to lazy reclamation.
 func (t *TopCache) Remove(addr block.ID, leaf block.Leaf) bool {
-	for l := 0; l < t.topLevels; l++ {
-		n := t.node(l, leaf)
-		for i, e := range t.nodes[n] {
-			if e.Addr == addr {
-				last := len(t.nodes[n]) - 1
-				t.nodes[n][i] = t.nodes[n][last]
-				t.nodes[n] = t.nodes[n][:last]
-				t.occupied[l]--
-				return true
-			}
-		}
+	s, ok := t.index.Get(addr)
+	if !ok || !t.liveAt(addr, s) {
+		return false
 	}
-	return false
+	l := int(t.slotLvl[s])
+	n := int(t.slotNode[s])
+	if n != t.node(l, leaf) {
+		return false
+	}
+	last := t.nodeLo[n] + uint32(t.cnt[n]) - 1
+	if s != last {
+		moved := t.slotAddr[last]
+		t.slotAddr[s] = moved
+		t.slotLeaf[s] = t.slotLeaf[last]
+		// moved is resident, so its key is present: this Put updates in
+		// place and cannot grow the table.
+		t.index.Put(block.ID(moved), s)
+	}
+	t.cnt[n]--
+	t.occupied[l]--
+	return true
 }
 
 // OccupiedAt implements TopStore.

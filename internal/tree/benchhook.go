@@ -1,0 +1,49 @@
+package tree
+
+import (
+	"testing"
+
+	"iroram/internal/block"
+	"iroram/internal/config"
+	"iroram/internal/rng"
+)
+
+// WalkBenchmark is the body of BenchmarkTreeWalk. It lives in the package
+// (not a _test file) so cmd/benchjson snapshots the same code via
+// testing.Benchmark; the root bench_test.go wraps it for `make bench`.
+//
+// One op is one full path round-trip over the memory-resident levels: the
+// occupancy-word walk (ReadPathEach) removes every real block on a random
+// path, then FillBucket restores each bucket exactly as read, so occupancy
+// is identical across ops. That isolates the bitmap engine — set-bit
+// iteration, empty-bucket skips, free-mask fills — from stash and DRAM
+// costs, which the Evict and PathAccess benchmarks layer back in.
+func WalkBenchmark(b *testing.B) {
+	o := config.Tiny().ORAM
+	minLevel := o.TopLevels
+	t := New(o, minLevel)
+	r := rng.New(1)
+	leaves := o.LeafCount()
+	// Steady-state load: place every data block deepest-first along a
+	// random path (the controller's initial placement), letting blocks
+	// whose path is full fall off — bucket occupancy ends realistically
+	// mixed, full near the leaves with slack above.
+	for id := uint64(0); id < o.DataBlocks(); id++ {
+		t.Place(Entry{Addr: block.ID(id), Leaf: block.Leaf(r.Uint64n(leaves))})
+	}
+	scratch := make([][]Entry, o.Levels)
+	for l := range scratch {
+		scratch[l] = make([]Entry, 0, o.Z[l])
+	}
+	visit := func(e Entry, l int) { scratch[l] = append(scratch[l], e) }
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		leaf := block.Leaf(r.Uint64n(leaves))
+		t.ReadPathEach(leaf, visit)
+		for l := minLevel; l < o.Levels; l++ {
+			t.FillBucket(l, leaf, scratch[l])
+			scratch[l] = scratch[l][:0]
+		}
+	}
+}

@@ -6,6 +6,21 @@
 //
 // The tree stores only the memory-resident levels [MinLevel, Levels); the
 // on-chip top levels live in internal/stash (dedicated TopCache or S-Stash).
+//
+// # Occupancy invariant
+//
+// Alongside the slot arrays the tree keeps one uint64 occupancy word per
+// bucket (every supported geometry has Z <= 64): bit b of bucket (level,
+// idx)'s word is set exactly when slot levelBase[level]+idx*Z+b holds a
+// real block. The word is authoritative — every mutation updates it in
+// lockstep with the slot writes, slot contents are meaningful only where
+// their bit is set (removal clears the bit without touching the slot
+// arrays), and no validity sentinel is ever consulted: per-slot validity
+// checks are folded into the occupancy word. Path walks iterate set bits
+// (bits.TrailingZeros64) in ascending slot order, fills claim the lowest
+// clear bit of ^occ&zmask — both identical in visit/placement order to the
+// historical per-slot scans (pinned by the differential tests in
+// occupancy_test.go) — and empty buckets skip in O(1) on one word load.
 package tree
 
 import (
@@ -23,7 +38,16 @@ type Entry struct {
 	Leaf block.Leaf
 }
 
-const invalid32 = ^uint32(0)
+// GatherFlag is a transient provenance marker the controller's read walk
+// may set on Entry.Leaf while an entry is in flight between the gather and
+// the write phase ("this block was fetched by the current path access" —
+// the Fig 5 migration split). Real leaves are below 2^31 on every valid
+// geometry (config caps Levels at 32), so the top bit of the 32-bit leaf
+// is free. The flag exists only inside the eviction drain's scratch: the
+// write phase strips it before an entry reaches any storage structure
+// (tree, tree-top store, or stash), and classification masks it before
+// leaf arithmetic.
+const GatherFlag block.Leaf = 1 << 31
 
 // Tree is the bucket storage of the memory-resident levels.
 type Tree struct {
@@ -35,11 +59,20 @@ type Tree struct {
 	slotAddr  []uint32
 	slotLeaf  []uint32
 	occupied  []uint64 // per level, indexed [0, levels); top levels stay 0
+
+	// occ holds one occupancy word per bucket of the memory-resident
+	// levels; the word of bucket (level, idx) is occ[occBase[level]+idx].
+	// zmask[level] has the low Z[level] bits set, so ^occ&zmask is the
+	// bucket's free-slot mask. See the package doc for the invariant.
+	occ     []uint64
+	occBase []uint64
+	zmask   []uint64
 }
 
 // New allocates an empty tree holding levels [minLevel, o.Levels). It panics
-// if the unified block space could overflow the 32-bit slot encoding; every
-// supported geometry (L <= 34) is far below that.
+// if the unified block space could overflow the 32-bit slot encoding (every
+// supported geometry, L <= 34, is far below that) or if any bucket size
+// exceeds the 64 slots an occupancy word can track.
 func New(o config.ORAM, minLevel int) *Tree {
 	if minLevel < 0 || minLevel >= o.Levels {
 		panic(fmt.Sprintf("tree: minLevel %d out of [0,%d)", minLevel, o.Levels))
@@ -51,20 +84,26 @@ func New(o config.ORAM, minLevel int) *Tree {
 		leafBits:  uint(o.Levels - 1),
 		levelBase: make([]uint64, o.Levels+1),
 		occupied:  make([]uint64, o.Levels),
+		occBase:   make([]uint64, o.Levels),
+		zmask:     make([]uint64, o.Levels),
 	}
-	var slots uint64
+	var slots, buckets uint64
 	for l := 0; l < o.Levels; l++ {
+		if o.Z[l] > 64 {
+			panic(fmt.Sprintf("tree: Z=%d at level %d exceeds the 64-slot occupancy word", o.Z[l], l))
+		}
+		t.zmask[l] = ^uint64(0) >> (64 - uint(o.Z[l]))
 		t.levelBase[l] = slots
+		t.occBase[l] = buckets
 		if l >= minLevel {
 			slots += (uint64(1) << uint(l)) * uint64(o.Z[l])
+			buckets += uint64(1) << uint(l)
 		}
 	}
 	t.levelBase[o.Levels] = slots
 	t.slotAddr = make([]uint32, slots)
 	t.slotLeaf = make([]uint32, slots)
-	for i := range t.slotAddr {
-		t.slotAddr[i] = invalid32
-	}
+	t.occ = make([]uint64, buckets)
 	return t
 }
 
@@ -119,16 +158,22 @@ func (t *Tree) bucketSlots(level int, idx uint64) (lo, hi uint64) {
 func (t *Tree) ReadPath(leaf block.Leaf, dst []Entry) []Entry {
 	out := dst
 	for l := t.minLevel; l < t.levels; l++ {
-		lo, hi := t.bucketSlots(l, t.BucketIndex(l, leaf))
-		for s := lo; s < hi; s++ {
-			if t.slotAddr[s] != invalid32 {
-				out = append(out, Entry{
-					Addr: block.ID(t.slotAddr[s]),
-					Leaf: block.Leaf(t.slotLeaf[s]),
-				})
-				t.slotAddr[s] = invalid32
-				t.occupied[l]--
-			}
+		idx := t.BucketIndex(l, leaf)
+		w := t.occBase[l] + idx
+		o := t.occ[w]
+		if o == 0 {
+			continue
+		}
+		t.occ[w] = 0
+		t.occupied[l] -= uint64(bits.OnesCount64(o))
+		lo := t.levelBase[l] + idx*uint64(t.z[l])
+		for o != 0 {
+			s := lo + uint64(bits.TrailingZeros64(o))
+			o &= o - 1
+			out = append(out, Entry{
+				Addr: block.ID(t.slotAddr[s]),
+				Leaf: block.Leaf(t.slotLeaf[s]),
+			})
 		}
 	}
 	return out
@@ -141,26 +186,28 @@ func (t *Tree) ReadPath(leaf block.Leaf, dst []Entry) []Entry {
 // single-walk pipeline; visit must not touch the tree.
 func (t *Tree) ReadPathEach(leaf block.Leaf, visit func(Entry, int)) {
 	for l := t.minLevel; l < t.levels; l++ {
-		lo, hi := t.bucketSlots(l, t.BucketIndex(l, leaf))
-		addrs := t.slotAddr[lo:hi]
-		leaves := t.slotLeaf[lo:hi:hi]
-		var removed uint64
-		for s, a := range addrs {
-			if a != invalid32 {
-				e := Entry{Addr: block.ID(a), Leaf: block.Leaf(leaves[s])}
-				addrs[s] = invalid32
-				removed++
-				visit(e, l)
-			}
+		idx := t.BucketIndex(l, leaf)
+		w := t.occBase[l] + idx
+		o := t.occ[w]
+		if o == 0 {
+			continue
 		}
-		t.occupied[l] -= removed
+		t.occ[w] = 0
+		t.occupied[l] -= uint64(bits.OnesCount64(o))
+		lo := t.levelBase[l] + idx*uint64(t.z[l])
+		for o != 0 {
+			s := lo + uint64(bits.TrailingZeros64(o))
+			o &= o - 1
+			visit(Entry{Addr: block.ID(t.slotAddr[s]), Leaf: block.Leaf(t.slotLeaf[s])}, l)
+		}
 	}
 }
 
-// FillBucket writes entries into the (empty) bucket the path of leaf crosses
-// at level — the write phase for one level. It panics if the bucket has
-// fewer free slots than entries or if an entry does not belong on this
-// bucket's subtree, both of which indicate controller bugs.
+// FillBucket writes entries into the bucket the path of leaf crosses at
+// level — the write phase for one level — claiming free slots in ascending
+// order from the bucket's free mask. It panics if the bucket has fewer free
+// slots than entries or if an entry does not belong on this bucket's
+// subtree, both of which indicate controller bugs.
 func (t *Tree) FillBucket(level int, leaf block.Leaf, entries []Entry) {
 	if len(entries) == 0 {
 		return
@@ -168,25 +215,44 @@ func (t *Tree) FillBucket(level int, leaf block.Leaf, entries []Entry) {
 	if len(entries) > t.z[level] {
 		panic(fmt.Sprintf("tree: %d entries for Z=%d bucket", len(entries), t.z[level]))
 	}
-	lo, hi := t.bucketSlots(level, t.BucketIndex(level, leaf))
-	// Fills only add blocks, so free slots are consumed left to right; one
-	// cursor across entries replaces a from-the-start rescan per entry.
-	s := lo
+	idx := t.BucketIndex(level, leaf)
+	w := t.occBase[level] + idx
+	o := t.occ[w]
+	lo := t.levelBase[level] + idx*uint64(t.z[level])
+	if o == 0 {
+		// Just-drained bucket (the write phase's common case): the free
+		// mask is the full slot range, so ascending-order claiming is a
+		// straight sequential write of slots [0, len(entries)).
+		for i, e := range entries {
+			if !SameSubtree(leaf, e.Leaf, level, t.levels) {
+				panic(fmt.Sprintf("tree: block %v (leaf %d) misplaced at level %d of path %d",
+					e.Addr, e.Leaf, level, leaf))
+			}
+			s := lo + uint64(i)
+			t.slotAddr[s] = uint32(e.Addr)
+			t.slotLeaf[s] = uint32(e.Leaf)
+		}
+		t.occ[w] = uint64(1)<<uint(len(entries)) - 1
+		t.occupied[level] += uint64(len(entries))
+		return
+	}
+	free := ^o & t.zmask[level]
 	for _, e := range entries {
 		if !SameSubtree(leaf, e.Leaf, level, t.levels) {
 			panic(fmt.Sprintf("tree: block %v (leaf %d) misplaced at level %d of path %d",
 				e.Addr, e.Leaf, level, leaf))
 		}
-		for s < hi && t.slotAddr[s] != invalid32 {
-			s++
-		}
-		if s == hi {
+		if free == 0 {
 			panic(fmt.Sprintf("tree: bucket overflow at level %d", level))
 		}
+		b := uint64(bits.TrailingZeros64(free))
+		free &= free - 1
+		o |= uint64(1) << b
+		s := lo + b
 		t.slotAddr[s] = uint32(e.Addr)
 		t.slotLeaf[s] = uint32(e.Leaf)
-		s++
 	}
+	t.occ[w] = o
 	t.occupied[level] += uint64(len(entries))
 }
 
@@ -194,9 +260,13 @@ func (t *Tree) FillBucket(level int, leaf block.Leaf, entries []Entry) {
 // returns the level holding it.
 func (t *Tree) Find(addr block.ID, leaf block.Leaf) (level int, ok bool) {
 	for l := t.minLevel; l < t.levels; l++ {
-		lo, hi := t.bucketSlots(l, t.BucketIndex(l, leaf))
-		for s := lo; s < hi; s++ {
-			if t.slotAddr[s] != invalid32 && block.ID(t.slotAddr[s]) == addr {
+		idx := t.BucketIndex(l, leaf)
+		o := t.occ[t.occBase[l]+idx]
+		lo := t.levelBase[l] + idx*uint64(t.z[l])
+		for o != 0 {
+			s := lo + uint64(bits.TrailingZeros64(o))
+			o &= o - 1
+			if block.ID(t.slotAddr[s]) == addr {
 				return l, true
 			}
 		}
@@ -208,10 +278,15 @@ func (t *Tree) Find(addr block.ID, leaf block.Leaf) (level int, ok bool) {
 // was found.
 func (t *Tree) Remove(addr block.ID, leaf block.Leaf) bool {
 	for l := t.minLevel; l < t.levels; l++ {
-		lo, hi := t.bucketSlots(l, t.BucketIndex(l, leaf))
-		for s := lo; s < hi; s++ {
-			if t.slotAddr[s] != invalid32 && block.ID(t.slotAddr[s]) == addr {
-				t.slotAddr[s] = invalid32
+		idx := t.BucketIndex(l, leaf)
+		w := t.occBase[l] + idx
+		o := t.occ[w]
+		lo := t.levelBase[l] + idx*uint64(t.z[l])
+		for m := o; m != 0; m &= m - 1 {
+			b := uint64(bits.TrailingZeros64(m))
+			s := lo + b
+			if block.ID(t.slotAddr[s]) == addr {
+				t.occ[w] = o &^ (uint64(1) << b)
 				t.occupied[l]--
 				return true
 			}
@@ -225,17 +300,29 @@ func (t *Tree) Remove(addr block.ID, leaf block.Leaf) bool {
 // every memory-resident bucket on the path is full.
 func (t *Tree) Place(e Entry) (level int, ok bool) {
 	for l := t.levels - 1; l >= t.minLevel; l-- {
-		lo, hi := t.bucketSlots(l, t.BucketIndex(l, e.Leaf))
-		for s := lo; s < hi; s++ {
-			if t.slotAddr[s] == invalid32 {
-				t.slotAddr[s] = uint32(e.Addr)
-				t.slotLeaf[s] = uint32(e.Leaf)
-				t.occupied[l]++
-				return l, true
-			}
+		idx := t.BucketIndex(l, e.Leaf)
+		w := t.occBase[l] + idx
+		free := ^t.occ[w] & t.zmask[l]
+		if free == 0 {
+			continue
 		}
+		b := uint64(bits.TrailingZeros64(free))
+		s := t.levelBase[l] + idx*uint64(t.z[l]) + b
+		t.slotAddr[s] = uint32(e.Addr)
+		t.slotLeaf[s] = uint32(e.Leaf)
+		t.occ[w] |= uint64(1) << b
+		t.occupied[l]++
+		return l, true
 	}
 	return 0, false
+}
+
+// FreeAt returns the number of free slots in the bucket the path of leaf
+// crosses at level — one popcount of the bucket's free mask. The eviction
+// drain uses it to cap a level's fill without probing slots.
+func (t *Tree) FreeAt(level int, leaf block.Leaf) int {
+	o := t.occ[t.occBase[level]+t.BucketIndex(level, leaf)]
+	return bits.OnesCount64(^o & t.zmask[level])
 }
 
 // Occupied returns the total number of real blocks in the tree.

@@ -49,9 +49,13 @@ type FigureRun struct {
 	Elapsed time.Duration
 	// Cells counts the simulation cells the figure requested (cached cells
 	// included — they still drive progress and telemetry); Hits counts how
-	// many of those were served from the shared cell cache. Under an
-	// overlapped sweep the per-figure split of hits depends on which driver
-	// reached a duplicate cell first, but the sweep-wide totals do not.
+	// many of those were served from the shared cell cache. Both are
+	// deterministic for every Jobs value and for Overlap on or off: an
+	// overlapped sweep replays the figures' requested cell keys in Names
+	// order after the drivers finish, so a duplicated cell's hit is always
+	// attributed to the canonically-later figure — exactly the attribution
+	// a sequential sweep produces — no matter which driver actually won the
+	// single-flight race.
 	Cells, Hits int64
 }
 
@@ -100,7 +104,7 @@ func (s Sweep) Run(deliver func(FigureRun)) error {
 	}
 	if !s.Overlap || len(names) == 1 {
 		for _, name := range names {
-			fr := s.runFigure(name, s.Options, cache)
+			fr := s.runFigure(name, s.Options, cache, &CellCounters{})
 			deliver(fr)
 			if fr.Err != nil {
 				return fr.Err
@@ -111,12 +115,12 @@ func (s Sweep) Run(deliver func(FigureRun)) error {
 	return s.runOverlapped(names, cache, deliver)
 }
 
-// runFigure executes one experiment with private counters and reports its
-// outcome. The options value is taken by value: each figure gets its own
-// copy to mutate.
-func (s Sweep) runFigure(name string, opts ExperimentOptions, cache *cellcache.Cache) FigureRun {
+// runFigure executes one experiment with the supplied counters and reports
+// its outcome. The options value is taken by value: each figure gets its
+// own copy to mutate.
+func (s Sweep) runFigure(name string, opts ExperimentOptions, cache *cellcache.Cache,
+	counters *CellCounters) FigureRun {
 	opts.Cache = cache
-	counters := &CellCounters{}
 	opts.Counters = counters
 	if s.ProgressFor != nil {
 		opts.Progress = s.ProgressFor(name)
@@ -149,6 +153,7 @@ func (s Sweep) runOverlapped(names []string, cache *cellcache.Cache, deliver fun
 	var progressMu sync.Mutex
 	results := make([]FigureRun, len(names))
 	logs := make([]*ArtifactLog, len(names))
+	counters := make([]*CellCounters, len(names))
 	var wg sync.WaitGroup
 	for i, name := range names {
 		opts := s.Options
@@ -170,12 +175,13 @@ func (s Sweep) runOverlapped(names []string, cache *cellcache.Cache, deliver fun
 				}
 			}
 		}
+		counters[i] = &CellCounters{}
 		wg.Add(1)
 		go func(i int, name string, opts ExperimentOptions) {
 			defer wg.Done()
 			sub := s
 			sub.ProgressFor = nil // observer already installed, pre-wrapped
-			fr := sub.runFigure(name, opts, cache)
+			fr := sub.runFigure(name, opts, cache, counters[i])
 			if fr.Err != nil {
 				cancel() // first failure stops the others at a cell boundary
 			}
@@ -183,6 +189,28 @@ func (s Sweep) runOverlapped(names []string, cache *cellcache.Cache, deliver fun
 		}(i, name, opts)
 	}
 	wg.Wait()
+
+	// The live Hits split is a race artifact: whichever driver requested a
+	// duplicated cell first simulated it, and everyone else hit. Replay the
+	// figures' requested keys in canonical Names order against one seen-set
+	// to recover the attribution a sequential sweep would report — the first
+	// canonical requester of a key misses, every later request (across or
+	// within figures; order within one figure cannot matter) hits. The key
+	// multisets are scheduling-independent, so so is this split.
+	if cache != nil {
+		seen := make(map[string]struct{})
+		for i := range results {
+			var hits int64
+			for _, k := range counters[i].Keys() {
+				if _, dup := seen[k]; dup {
+					hits++
+				} else {
+					seen[k] = struct{}{}
+				}
+			}
+			results[i].Hits = hits
+		}
+	}
 
 	// Deliver the figures that completed before the first (canonical-order)
 	// failure, then the failure itself. A driver cancelled because of

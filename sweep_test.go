@@ -77,6 +77,62 @@ func TestSweepDifferential(t *testing.T) {
 	}
 }
 
+// TestSweepHitAttributionDeterministic pins the per-figure cells=N hits=M
+// accounting: under an overlapped dedup sweep the split must not depend on
+// which driver won a duplicated cell's single-flight race — it is replayed
+// in canonical figure order and must be identical for every Jobs value, and
+// equal to what the sequential (non-overlapped) sweep reports.
+func TestSweepHitAttributionDeterministic(t *testing.T) {
+	counts := func(overlap bool, jobs int) (cells, hits map[string]int64) {
+		t.Helper()
+		opts := QuickExperiments()
+		opts.Requests = 400
+		opts.Benchmarks = []string{"gcc", "mcf"}
+		opts.Jobs = jobs
+		cells = make(map[string]int64)
+		hits = make(map[string]int64)
+		sw := Sweep{Options: opts, Names: sweepFixture, Dedup: true, Overlap: overlap}
+		if err := sw.Run(func(fr FigureRun) {
+			if fr.Err != nil {
+				t.Fatalf("%s: %v", fr.Name, fr.Err)
+			}
+			cells[fr.Name] = fr.Cells
+			hits[fr.Name] = fr.Hits
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return cells, hits
+	}
+
+	seqCells, seqHits := counts(false, 1)
+	total := int64(0)
+	for _, h := range seqHits {
+		total += h
+	}
+	if total == 0 {
+		t.Fatal("fixture produced no cache hits; the attribution test is vacuous")
+	}
+	for _, c := range []struct {
+		name    string
+		overlap bool
+		jobs    int
+	}{
+		{"overlap-j1", true, 1},
+		{"overlap-j4", true, 4},
+		{"seq-j4", false, 4},
+	} {
+		cells, hits := counts(c.overlap, c.jobs)
+		for _, name := range sweepFixture {
+			if cells[name] != seqCells[name] {
+				t.Errorf("%s: %s cells = %d, want %d", c.name, name, cells[name], seqCells[name])
+			}
+			if hits[name] != seqHits[name] {
+				t.Errorf("%s: %s hits = %d, want %d", c.name, name, hits[name], seqHits[name])
+			}
+		}
+	}
+}
+
 // TestSweepStopsOnError: a failing figure is delivered last with its error,
 // figures after it are not, and Run returns the error — sequential and
 // overlapped.
