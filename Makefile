@@ -7,23 +7,26 @@
 #                    experiment engine must stay race-clean)
 #   make alloccheck  gate: the steady-state hot paths (path access, evict,
 #                    tree walk, tree-top find, LLC access, DWB scan,
-#                    histogram observe) must not allocate
+#                    histogram observe, fully-traced flight access) must not
+#                    allocate
 #   make docscheck   gate: exported facade/metrics identifiers must carry doc
 #                    comments, and docs/METRICS.md must match the metrics
 #                    registry's self-description both ways
 #   make check       all of the above — the documented verification flow
 #   make bench       benchmark harness (one benchmark per paper figure)
-#   make benchjson   performance-trajectory snapshot (BENCH_pr9.json, min of
+#   make benchjson   performance-trajectory snapshot (BENCH_pr10.json, min of
 #                    5 reps per benchmark); fails if the quick fig10 gmeans
-#                    drift from BENCH_pr8.json
-#   make benchcmp    compare BENCH_pr9.json against BENCH_pr8.json: fails on
+#                    drift from BENCH_pr9.json
+#   make benchcmp    compare BENCH_pr10.json against BENCH_pr9.json: fails on
 #                    >10% ns/op regression or any metric drift
+#   make flightcheck trace a quick fig10 run, validate it with flightstat,
+#                    and diff the trace bytes across -jobs 1 and -jobs 4
 #   make profile     CPU+heap profile of a quick fig10 regeneration
 #   make profile-top profile, then print the top 25 flat-cost functions
 
 GO ?= go
 
-.PHONY: build vet test race alloccheck docscheck check bench benchjson benchcmp profile profile-top
+.PHONY: build vet test race alloccheck docscheck check bench benchjson benchcmp flightcheck profile profile-top
 
 build:
 	$(GO) build ./...
@@ -49,10 +52,19 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 benchjson:
-	$(GO) run ./cmd/benchjson -out BENCH_pr9.json -baseline BENCH_pr8.json
+	$(GO) run ./cmd/benchjson -out BENCH_pr10.json -baseline BENCH_pr9.json
 
 benchcmp:
-	$(GO) run ./cmd/benchjson -diff BENCH_pr9.json -against BENCH_pr8.json
+	$(GO) run ./cmd/benchjson -diff BENCH_pr10.json -against BENCH_pr9.json
+
+flightcheck:
+	$(GO) run ./cmd/experiments -fig fig10 -quick -progress=false -jobs 4 \
+		-flight flight-j4 -flight-sample 8 > /dev/null
+	$(GO) run ./cmd/experiments -fig fig10 -quick -progress=false -jobs 1 \
+		-dedup=false -overlap=false -flight flight-j1 -flight-sample 8 > /dev/null
+	diff -r flight-j4 flight-j1
+	$(GO) run ./cmd/flightstat flight-j4/fig10.trace.json
+	rm -r flight-j4 flight-j1
 
 profile:
 	$(GO) run ./cmd/experiments -fig fig10 -quick -progress=false \

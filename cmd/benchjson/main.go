@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"testing"
 
 	"iroram"
@@ -30,6 +32,7 @@ import (
 	"iroram/internal/config"
 	"iroram/internal/core"
 	"iroram/internal/dram"
+	"iroram/internal/flight"
 	"iroram/internal/metrics"
 	"iroram/internal/rng"
 	"iroram/internal/stash"
@@ -42,7 +45,45 @@ type benchEntry struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
+// hostInfo records the machine a snapshot was taken on. Wall-clock numbers
+// are only comparable within one host — the benchcmp gate already allows
+// for scheduler noise, but cross-host diffs need this context to be read
+// correctly.
+type hostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CPUModel   string `json:"cpu_model,omitempty"`
+}
+
+// hostSnapshot collects the host metadata. The CPU model is best-effort:
+// /proc/cpuinfo exists only on Linux, and its absence just leaves the field
+// empty.
+func hostSnapshot() hostInfo {
+	h := hostInfo{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if data, err := os.ReadFile("/proc/cpuinfo"); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			if name, val, ok := strings.Cut(line, ":"); ok &&
+				strings.TrimSpace(name) == "model name" {
+				h.CPUModel = strings.TrimSpace(val)
+				break
+			}
+		}
+	}
+	return h
+}
+
 type report struct {
+	// Host describes the machine that produced the snapshot.
+	Host hostInfo `json:"host"`
 	// Reps is how many repetitions each wall-clock benchmark ran; the
 	// recorded entry is the minimum ns/op over them (the run least
 	// disturbed by the host), which keeps the 10% benchcmp gate from
@@ -60,10 +101,11 @@ type report struct {
 // by `make alloccheck`: the end-to-end path access plus the PR 4
 // data-structure microbenchmarks (eviction round-trip, LLC access with LRU
 // tracking, DWB candidate scan), the PR 6 histogram observation (the one
-// metrics operation on the access path), and the PR 9 bitmap-engine
+// metrics operation on the access path), the PR 9 bitmap-engine
 // microbenchmarks (the occupancy-word tree walk, the lazily-indexed
 // tree-top lookup — whose alloc gate proves the index sweeps in place
-// instead of growing).
+// instead of growing), and the PR 10 flight-recorder path (every access
+// traced into the ring — recording must reuse ring slots, never allocate).
 var zeroAllocBenchmarks = []struct {
 	name string
 	fn   func(*testing.B)
@@ -75,6 +117,7 @@ var zeroAllocBenchmarks = []struct {
 	{"LLCAccess", cache.AccessBenchmark},
 	{"DWBScan", cache.ScanBenchmark},
 	{"HistObserve", metrics.ObserveBenchmark},
+	{"FlightAccess", benchFlightAccess},
 }
 
 func main() {
@@ -83,7 +126,7 @@ func main() {
 
 func run() int {
 	var (
-		out   = flag.String("out", "BENCH_pr8.json", "output file")
+		out   = flag.String("out", "BENCH_pr10.json", "output file")
 		check = flag.Bool("check", false,
 			"only verify that the hot-path benchmarks perform 0 allocs/op; no file is written")
 		reps = flag.Int("reps", 5,
@@ -115,7 +158,11 @@ func run() int {
 		if !ok {
 			return 1
 		}
-		fmt.Println("benchjson: PathAccess, Evict, TreeWalk, TopCacheFind, LLCAccess, DWBScan, HistObserve all 0 allocs/op ok")
+		names := make([]string, len(zeroAllocBenchmarks))
+		for i, bm := range zeroAllocBenchmarks {
+			names[i] = bm.name
+		}
+		fmt.Printf("benchjson: %s all 0 allocs/op ok\n", strings.Join(names, ", "))
 		return 0
 	}
 
@@ -123,6 +170,7 @@ func run() int {
 		*reps = 1
 	}
 	rep := report{
+		Host: hostSnapshot(),
 		Reps: *reps,
 		Benchmarks: map[string]benchEntry{
 			"ServiceBatch": benchMin(benchServiceBatch, *reps),
@@ -270,6 +318,34 @@ func benchMin(fn func(*testing.B), reps int) benchEntry {
 		}
 	}
 	return best
+}
+
+// benchFlightAccess is benchPathAccess with a flight recorder attached and
+// sampling every access — the fully traced path. Gating it at 0 allocs/op
+// proves tracing itself stays allocation-free: events land in pre-allocated
+// ring slots.
+func benchFlightAccess(b *testing.B) {
+	cfg := config.Tiny().WithScheme(config.Baseline())
+	mem := dram.New(cfg.DRAM)
+	c, err := core.NewController(cfg, mem, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	fl := flight.New(1<<14, 1)
+	c.AttachFlight(fl)
+	mem.AttachFlight(fl)
+	is := core.NewIssuer(c, nil)
+	r := rng.New(2)
+	nd := cfg.ORAM.DataBlocks()
+	now := uint64(0)
+	for i := 0; i < 2000; i++ {
+		now = is.ReadBlock(now, block.ID(r.Uint64n(nd)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now = is.ReadBlock(now, block.ID(r.Uint64n(nd)))
+	}
 }
 
 // benchPathAccess mirrors BenchmarkPathAccess in bench_test.go: end-to-end

@@ -10,6 +10,10 @@
 //     token in the document must name a registered instrument. The
 //     registry is the source of truth; the document may not invent or omit
 //     names.
+//   - a command-line flag of cmd/experiments, cmd/irsim or cmd/flightstat
+//     is missing from README.md: every flag.Xxx("name", ...) declaration
+//     must appear as a backticked `-name` token in the README's flag
+//     tables, so the user-facing surface cannot drift undocumented.
 //
 // Run from the repository root (as the Makefile does): paths are relative.
 package main
@@ -47,11 +51,17 @@ func run() int {
 		return 2
 	}
 	bad += n
+	n, err = auditFlagsDoc("README.md", "cmd/experiments", "cmd/irsim", "cmd/flightstat")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		return 2
+	}
+	bad += n
 	if bad > 0 {
 		fmt.Fprintf(os.Stderr, "docscheck: %d problems\n", bad)
 		return 1
 	}
-	fmt.Println("docscheck: godoc coverage and docs/METRICS.md in sync ok")
+	fmt.Println("docscheck: godoc coverage, docs/METRICS.md and README flags in sync ok")
 	return 0
 }
 
@@ -122,8 +132,8 @@ func exportedNames(names []string) []string {
 }
 
 // metricToken matches backticked identifiers in docs/METRICS.md that look
-// like registered instrument names (the four stable prefixes).
-var metricToken = regexp.MustCompile("`((?:oram|sim|llc|dram)_[a-z0-9_]+)`")
+// like registered instrument names (the five stable prefixes).
+var metricToken = regexp.MustCompile("`((?:oram|sim|llc|dram|flight)_[a-z0-9_]+)`")
 
 // auditMetricsDoc checks the two-way correspondence between docs/METRICS.md
 // and the registry self-description of a live System.
@@ -155,6 +165,46 @@ func auditMetricsDoc(path string) (int, error) {
 			fmt.Fprintf(os.Stderr, "docscheck: %s: documented metric %q is not registered (stale name?)\n",
 				path, name)
 			bad++
+		}
+	}
+	return bad, nil
+}
+
+// flagDecl matches flag declarations in command sources — the user-facing
+// flag surface README.md must document.
+var flagDecl = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Uint64|Float64|Duration)\(\s*"([a-z][a-z0-9-]*)"`)
+
+// auditFlagsDoc checks that every flag declared in the given command
+// directories appears as a backticked `-name` token in the README. The
+// reverse direction is not audited: the README may discuss flags in prose
+// beyond the declaration list, but it may not omit a declared flag.
+func auditFlagsDoc(readme string, dirs ...string) (int, error) {
+	data, err := os.ReadFile(readme)
+	if err != nil {
+		return 0, fmt.Errorf("%s missing (the command reference is mandatory): %w", readme, err)
+	}
+	text := string(data)
+	bad := 0
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return 0, err
+		}
+		for _, e := range entries {
+			if !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(dir + "/" + e.Name())
+			if err != nil {
+				return 0, err
+			}
+			for _, m := range flagDecl.FindAllStringSubmatch(string(src), -1) {
+				if !strings.Contains(text, "`-"+m[1]+"`") {
+					fmt.Fprintf(os.Stderr, "docscheck: %s: flag -%s of %s is undocumented\n",
+						readme, m[1], dir)
+					bad++
+				}
+			}
 		}
 	}
 	return bad, nil

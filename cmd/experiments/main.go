@@ -26,8 +26,16 @@
 // <figure>.jsonl sidecar per figure, one record per simulated cell with the
 // full metric dump (schema in docs/METRICS.md). Artifact bytes, like
 // stdout, are identical for every -jobs value. -telemetry serves the latest
-// progress snapshot as JSON over HTTP, published from the serialized
-// progress callback so no simulation state is shared across goroutines.
+// progress snapshot as JSON over HTTP (plus /healthz and a Prometheus
+// text-format /metrics view), published from the serialized progress
+// callback so no simulation state is shared across goroutines.
+//
+// With -flight <dir>, every simulated cell carries a cycle-domain flight
+// recorder sampling one in every -flight-sample path accesses, and the run
+// writes one <figure>.trace.json Chrome trace-event file per figure under
+// the directory — load it at https://ui.perfetto.dev or summarize it with
+// cmd/flightstat (see docs/OBSERVABILITY.md). Trace bytes are identical
+// for every -jobs value and for -dedup/-overlap on or off.
 package main
 
 import (
@@ -70,6 +78,10 @@ func run() (code int) {
 			"share one cell-result cache across figures (identical cells simulate once; output bytes are unchanged)")
 		overlap = flag.Bool("overlap", true,
 			"run figure drivers concurrently on one shared worker budget (tables still print in figure order)")
+		flightDir = flag.String("flight", "",
+			"write per-figure Chrome trace-event files (<figure>.trace.json) under this directory")
+		flightSample = flag.Uint64("flight-sample", 1,
+			"with -flight: trace one in every N path accesses (1 = every access)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -127,6 +139,39 @@ func run() (code int) {
 		opts.EpochInterval = *epochs
 	}
 
+	var flightLog *iroram.FlightLog
+	if *flightDir != "" {
+		if *flightSample == 0 {
+			fmt.Fprintln(os.Stderr, "experiments: -flight-sample must be >= 1")
+			return 2
+		}
+		flightLog = &iroram.FlightLog{}
+		opts.Flight = flightLog
+		opts.FlightSample = *flightSample
+	}
+
+	// Sidecar files (JSONL artifacts, flight traces) are written after the
+	// run from both the sweep path and the zsearch branch.
+	writeSidecars := func() int {
+		if artifacts != nil {
+			if err := artifacts.WriteDir(*out); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "[wrote %d artifact records under %s]\n",
+				artifacts.Len(), *out)
+		}
+		if flightLog != nil {
+			if err := flightLog.WriteDir(*flightDir); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return 1
+			}
+			fmt.Fprintf(os.Stderr, "[wrote %d flight traces under %s]\n",
+				flightLog.Len(), *flightDir)
+		}
+		return 0
+	}
+
 	var sink *os.File
 	if *out != "" && *emitMode == "" {
 		f, err := os.OpenFile(*out, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
@@ -175,7 +220,7 @@ func run() (code int) {
 		}
 		emit(fmt.Sprintf("Z-search result: %s\n(per-path blocks: %d)\n\n",
 			desc, zprof.BlocksPerPath(opts.Base.ORAM.TopLevels)))
-		return 0
+		return writeSidecars()
 	}
 
 	names := []string{*fig}
@@ -204,15 +249,7 @@ func run() (code int) {
 	}); err != nil {
 		return 1
 	}
-	if artifacts != nil {
-		if err := artifacts.WriteDir(*out); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			return 1
-		}
-		fmt.Fprintf(os.Stderr, "[wrote %d artifact records under %s]\n",
-			artifacts.Len(), *out)
-	}
-	return 0
+	return writeSidecars()
 }
 
 // parseBenchmarks splits a comma-separated benchmark list, trimming

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"fmt"
+
 	"iroram"
 	"iroram/internal/telemetry"
 )
@@ -40,4 +43,12 @@ func (t *telemetryServer) publishProgress(name string, p iroram.Progress) {
 		ElapsedMS: p.Elapsed.Milliseconds(),
 		ETAMS:     p.ETA().Milliseconds(),
 	})
+	// The Prometheus view of a sweep is the progress of the figure that
+	// last reported — the same document /snapshot serves, as gauges.
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# TYPE exp_cells_done gauge\nexp_cells_done{figure=%q} %d\n", name, p.Done)
+	fmt.Fprintf(&b, "# TYPE exp_cells_total gauge\nexp_cells_total{figure=%q} %d\n", name, p.Total)
+	fmt.Fprintf(&b, "# TYPE exp_elapsed_seconds gauge\nexp_elapsed_seconds{figure=%q} %.3f\n",
+		name, p.Elapsed.Seconds())
+	t.PublishProm(b.Bytes())
 }

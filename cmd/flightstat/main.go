@@ -1,0 +1,49 @@
+// Command flightstat summarizes flight-recorder traces written by
+// cmd/experiments -flight or cmd/irsim -flight: per-path-type critical-path
+// breakdowns (DRAM read vs decrypt vs writeback cycles, plus demand queue
+// wait) and per-channel DRAM row-hit-rate timelines.
+//
+// Usage:
+//
+//	flightstat out/fig10.trace.json
+//	flightstat -buckets 20 irsim.trace.json
+//
+// The input is the Chrome trace-event JSON the simulator exports (see
+// docs/OBSERVABILITY.md for the event vocabulary); every process in the
+// file — one per traced simulation cell — is summarized independently, in
+// file order. Output is a pure function of the trace bytes, so identical
+// traces summarize identically.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	buckets := flag.Int("buckets", 10, "time buckets in the per-channel row-hit-rate timeline")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: flightstat [-buckets N] <trace.json> [more traces]")
+		os.Exit(2)
+	}
+	if *buckets < 1 {
+		fmt.Fprintln(os.Stderr, "flightstat: -buckets must be >= 1")
+		os.Exit(2)
+	}
+	code := 0
+	for _, path := range flag.Args() {
+		procs, err := parseTrace(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "flightstat: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("%s:\n", path)
+		for _, p := range procs {
+			p.print(os.Stdout, *buckets)
+		}
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"iroram/internal/flight"
+)
+
+// exportEvents records a known event set and round-trips it through the
+// exporter, returning the parsed trace-event stream.
+func exportEvents(t *testing.T) []event {
+	t.Helper()
+	rec := flight.New(64, 1)
+	rec.SampleAccess()
+	rec.Record(flight.Event{Start: 0, End: 200, Arg: 42, Aux: 50, Kind: flight.KindRequest})
+	rec.Record(flight.Event{Start: 0, End: 100, Kind: flight.KindPhaseRead, Sub: 0})
+	rec.Record(flight.Event{Start: 100, End: 160, Kind: flight.KindPhaseWrite, Sub: 0})
+	rec.Record(flight.Event{Start: 100, End: 130, Kind: flight.KindPhaseDecrypt, Sub: 0})
+	rec.Record(flight.Event{Start: 0, End: 130, Arg: 7, Kind: flight.KindAccess, Sub: 0})
+	rec.Record(flight.Event{Start: 5, End: 60, Arg: 3, Aux: 4, Kind: flight.KindDramRun, Sub: 1, Ch: 0, Bank: 2})
+	rec.Record(flight.Event{Start: 60, End: 90, Arg: 4, Aux: 2, Kind: flight.KindDramRun, Sub: 0, Ch: 1})
+	rec.Record(flight.Event{Start: 90, End: 95, Aux: 6, Kind: flight.KindDramDrain, Ch: 0})
+	rec.Record(flight.Event{Start: 130, Arg: 9, Aux: 3, Kind: flight.KindOccupancy})
+
+	var buf bytes.Buffer
+	if err := flight.Write(&buf, []flight.Process{{Name: "t/x", Trace: rec.Snapshot()}}); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("re-parse export: %v", err)
+	}
+	return doc.TraceEvents
+}
+
+// TestSummarizeReconciles checks the analyzer's sums against the known
+// event set: the breakdown must reproduce the recorded span durations
+// exactly — the same property the acceptance check asserts against the
+// simulator's phase cycle counters.
+func TestSummarizeReconciles(t *testing.T) {
+	procs, err := summarize(exportEvents(t))
+	if err != nil {
+		t.Fatalf("summarize: %v", err)
+	}
+	if len(procs) != 1 {
+		t.Fatalf("processes = %d, want 1", len(procs))
+	}
+	p := procs[0]
+	if p.name != "t/x" {
+		t.Errorf("process name = %q, want t/x", p.name)
+	}
+	ps := p.paths["ptd"]
+	if ps == nil {
+		t.Fatal("no ptd path stats")
+	}
+	if ps.count != 1 || ps.total != 130 || ps.read != 100 || ps.decrypt != 30 || ps.write != 60 {
+		t.Errorf("ptd = %+v, want count 1 total 130 read 100 decrypt 30 write 60", *ps)
+	}
+	if p.reqs.count != 1 || p.reqs.cycles != 200 || p.reqs.wait != 50 {
+		t.Errorf("requests = %+v, want count 1 cycles 200 wait 50", p.reqs)
+	}
+	if ch := p.chans[0]; ch == nil || ch.hits != 4 || ch.misses != 0 {
+		t.Errorf("ch0 = %+v, want 4 hits 0 misses", p.chans[0])
+	}
+	if ch := p.chans[1]; ch == nil || ch.hits != 0 || ch.misses != 2 {
+		t.Errorf("ch1 = %+v, want 0 hits 2 misses", p.chans[1])
+	}
+	if p.occ.samples != 1 || p.occ.stashMax != 9 || p.occ.writeQMax != 3 {
+		t.Errorf("occupancy = %+v, want 1 sample stashMax 9 writeQMax 3", p.occ)
+	}
+}
+
+// TestPrintDeterministic renders the summary twice and checks the bytes
+// match and carry the headline numbers.
+func TestPrintDeterministic(t *testing.T) {
+	procs, err := summarize(exportEvents(t))
+	if err != nil {
+		t.Fatalf("summarize: %v", err)
+	}
+	render := func() string {
+		var buf bytes.Buffer
+		for _, p := range procs {
+			p.print(&buf, 4)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatal("print output differs between renders")
+	}
+	for _, want := range []string{"t/x", "ptd", "TOTAL", "queue wait 50 cycles", "row-hit rate"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("output missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// TestSummarizeRejectsUnknownPhase guards the parser against documents the
+// exporter cannot have produced.
+func TestSummarizeRejectsUnknownPhase(t *testing.T) {
+	if _, err := summarize([]event{{Ph: "B", Pid: 1}}); err == nil {
+		t.Fatal("summarize accepted a begin-phase event")
+	}
+}

@@ -11,8 +11,15 @@
 // With -emit jsonl, the run additionally writes artifacts/irsim.jsonl: one
 // record carrying the full metric dump (docs/METRICS.md schema), plus the
 // epoch time series when -epochs is set. -telemetry serves the live metrics
-// snapshot as JSON over HTTP, refreshed between simulation steps on the
-// run's own goroutine.
+// snapshot as JSON over HTTP (plus /healthz and a Prometheus text-format
+// /metrics view), refreshed between simulation steps on the run's own
+// goroutine.
+//
+// With -flight <file>, the run records cycle-domain spans (one in every
+// -flight-sample path accesses) and writes them as a Chrome trace-event
+// file — load it at https://ui.perfetto.dev or summarize it with
+// cmd/flightstat. Under -compare each scheme becomes one trace process in
+// the same file.
 package main
 
 import (
@@ -44,10 +51,18 @@ func run() (code int) {
 		out       = flag.String("out", "", "artifact directory for -emit jsonl")
 		telemAddr = flag.String("telemetry", "", "serve live JSON metric snapshots on this HTTP address (e.g. :8080)")
 		epochs    = flag.Uint64("epochs", 0, "record an epoch snapshot every N issued paths (0 = off)")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		flightOut = flag.String("flight", "", "write a Chrome trace-event file of the run to this path")
+		flightSample = flag.Uint64("flight-sample", 1,
+			"with -flight: trace one in every N path accesses (1 = every access)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *flightOut != "" && *flightSample == 0 {
+		fmt.Fprintln(os.Stderr, "irsim: -flight-sample must be >= 1")
+		return 2
+	}
 
 	if *emitMode != "" && *emitMode != "jsonl" {
 		fmt.Fprintf(os.Stderr, "irsim: unknown -emit mode %q (only \"jsonl\")\n", *emitMode)
@@ -75,7 +90,8 @@ func run() (code int) {
 	}()
 
 	if *compare {
-		return runComparison(*bench, *requests, *levels, *seed, *emitMode, *out, *epochs)
+		return runComparison(*bench, *requests, *levels, *seed, *emitMode, *out, *epochs,
+			*flightSample, *flightOut)
 	}
 
 	cfg := iroram.ScaledConfig()
@@ -115,6 +131,9 @@ func run() (code int) {
 		return 1
 	}
 	sys.SetEpochInterval(*epochs)
+	if *flightOut != "" {
+		sys.AttachFlight(iroram.NewFlightRecorder(0, *flightSample))
+	}
 
 	// The telemetry callback runs between Step calls on this goroutine —
 	// the one point where a registry snapshot is consistent — and the
@@ -133,19 +152,61 @@ func run() (code int) {
 		if every == 0 {
 			every = 1
 		}
+		descs := sys.Metrics().Descs()
 		observe = func(consumed int) {
+			snap := sys.Metrics().Snapshot()
 			tele.Publish(struct { //nolint:errcheck // snapshots are best-effort
 				Consumed int                     `json:"consumed"`
 				Total    int                     `json:"total"`
 				Metrics  *iroram.MetricsSnapshot `json:"metrics"`
-			}{consumed, *requests, sys.Metrics().Snapshot()})
+			}{consumed, *requests, snap})
+			tele.PublishProm(telemetry.PromText(descs, snap))
 		}
 		res := sys.RunObserved(gen, *requests, every, observe)
+		if code := writeFlight(*flightOut, cfg.Scheme.Name+"/"+res.Name, res.Flight); code != 0 {
+			return code
+		}
 		return report(cfg, res, *emitMode, *out, *seed)
 	}
 
 	res := sys.RunObserved(gen, *requests, 0, nil)
+	if code := writeFlight(*flightOut, cfg.Scheme.Name+"/"+res.Name, res.Flight); code != 0 {
+		return code
+	}
 	return report(cfg, res, *emitMode, *out, *seed)
+}
+
+// writeFlight exports one run's flight trace as a Chrome trace-event file.
+// A no-op when tracing was off (empty path or nil trace).
+func writeFlight(path, name string, tr *iroram.FlightTrace) int {
+	if path == "" || tr == nil {
+		return 0
+	}
+	return writeFlightProcs(path, []iroram.FlightProcess{{Name: name, Trace: tr}})
+}
+
+func writeFlightProcs(path string, procs []iroram.FlightProcess) int {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irsim: flight: %v\n", err)
+		return 1
+	}
+	err = iroram.WriteFlightTrace(f, procs)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "irsim: flight %s: %v\n", path, err)
+		return 1
+	}
+	var events, dropped uint64
+	for _, p := range procs {
+		events += uint64(len(p.Trace.Events))
+		dropped += p.Trace.Dropped
+	}
+	fmt.Fprintf(os.Stderr, "[wrote flight trace %s: %d events, %d dropped]\n",
+		path, events, dropped)
+	return 0
 }
 
 // report prints the run summary and writes the JSONL artifact when asked.
@@ -193,12 +254,15 @@ func report(cfg iroram.Config, res iroram.Result, emitMode, out string, seed uin
 }
 
 // runComparison is -compare: every scheme on one workload, one line each.
-// With -emit jsonl it also writes one artifact record per scheme.
-func runComparison(bench string, requests, levels int, seed uint64, emitMode, out string, epochs uint64) int {
+// With -emit jsonl it also writes one artifact record per scheme; with
+// -flight, one trace file where each scheme is a process.
+func runComparison(bench string, requests, levels int, seed uint64, emitMode, out string,
+	epochs, flightSample uint64, flightOut string) int {
 	fmt.Printf("%-10s %14s %9s %8s %8s %8s %8s\n",
 		"scheme", "cycles", "speedup", "paths", "PTp", "dummies", "blk/acc")
 	var baseCycles float64
 	artifacts := &iroram.ArtifactLog{}
+	var procs []iroram.FlightProcess
 	for _, sch := range iroram.AllSchemes() {
 		cfg := iroram.ScaledConfig()
 		if levels == 25 {
@@ -220,9 +284,16 @@ func runComparison(bench string, requests, levels int, seed uint64, emitMode, ou
 			return 1
 		}
 		sys.SetEpochInterval(epochs)
+		if flightOut != "" {
+			sys.AttachFlight(iroram.NewFlightRecorder(0, flightSample))
+		}
 		res := sys.RunObserved(gen, requests, 0, nil)
 		if emitMode == "jsonl" {
 			artifacts.Add(iroram.NewArtifactRecord("irsim", sch.Name, res.Name, "", seed, res))
+		}
+		if flightOut != "" && res.Flight != nil {
+			procs = append(procs, iroram.FlightProcess{
+				Name: sch.Name + "/" + res.Name, Trace: res.Flight})
 		}
 		if baseCycles == 0 {
 			baseCycles = float64(res.Cycles)
@@ -242,6 +313,11 @@ func runComparison(bench string, requests, levels int, seed uint64, emitMode, ou
 			return 1
 		}
 		fmt.Fprintf(os.Stderr, "[wrote %d artifact records under %s]\n", artifacts.Len(), out)
+	}
+	if flightOut != "" && len(procs) > 0 {
+		if code := writeFlightProcs(flightOut, procs); code != 0 {
+			return code
+		}
 	}
 	return 0
 }

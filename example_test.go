@@ -109,7 +109,7 @@ func ExampleArtifactLog() {
 	fmt.Println("counts cycles:", rec.Metrics.Counters["sim_cycles"] == rec.Cycles)
 	fmt.Println("tracks path types:", rec.Metrics.Counters["oram_paths_ptd"] > 0)
 	// Output:
-	// schema: 1
+	// schema: 2
 	// cell: demo IR-ORAM mcf
 	// counts cycles: true
 	// tracks path types: true

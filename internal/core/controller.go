@@ -36,6 +36,7 @@ import (
 	"iroram/internal/cache"
 	"iroram/internal/config"
 	"iroram/internal/dram"
+	"iroram/internal/flight"
 	"iroram/internal/posmap"
 	"iroram/internal/rng"
 	"iroram/internal/stash"
@@ -104,7 +105,24 @@ type Controller struct {
 	gTarget    block.ID
 	gFound     bool
 	gLevel     int
+
+	// fl, when non-nil, receives cycle-stamped span events for sampled
+	// path accesses (see AttachFlight). A nil recorder is inert, so the
+	// hot path pays one branch when tracing is off. Kept at the struct
+	// tail so attaching the tracer does not shift the hot fields above.
+	fl *flight.Recorder
 }
+
+// AttachFlight wires a flight recorder into the access pipeline: every
+// fused path access (main tree and ρ small tree) counts toward the
+// recorder's 1-in-N sample and, when armed, records its read, decrypt
+// and posted-writeback phase spans plus the whole-access span tagged
+// with path type and leaf; the issuer adds per-slot occupancy samples
+// and disarms the recorder when it accounts the slot. The reference
+// pipeline and the Ring ORAM protocol are not traced. Recording only
+// observes — no RNG draws, no timing changes — so every counter,
+// histogram and byte of stdout is identical with tracing on or off.
+func (c *Controller) AttachFlight(fl *flight.Recorder) { c.fl = fl }
 
 // NewController builds and initializes a controller: the position map is
 // randomized, and every block of the unified space is placed into the tree
@@ -311,6 +329,10 @@ func (c *Controller) pathAccess(now uint64, leaf block.Leaf, target block.ID,
 	if c.refPipeline {
 		return c.pathAccessReference(now, leaf, target, ptype)
 	}
+	// Arm (or not) the flight recorder for this access before the read
+	// phase so the DRAM hooks see the sampling decision; the issuer
+	// disarms when it accounts the finished slot.
+	c.fl.SampleAccess()
 	// Read phase: the memory segment of the path, serviced in run-length
 	// form (no address list, no per-address decomposition on repeat leaves).
 	var readDone uint64
@@ -362,10 +384,28 @@ func (c *Controller) pathAccess(now uint64, leaf block.Leaf, target block.ID,
 	c.st.Paths.Add(ptype, c.nPathBlocks, c.nPathBlocks)
 	done = readDone + c.o.OnChipLatency
 	c.st.PathLatency[ptype].Observe(done - now)
+	if c.fl.Armed() {
+		c.recordPhases(now, readDone, writeDone, done, leaf, ptype)
+	}
 	if c.st.RecordLeaves {
 		c.st.Leaves = append(c.st.Leaves, leaf)
 	}
 	return found, foundLevel, done
+}
+
+// recordPhases emits the four spans of one sampled path access: the DRAM
+// read burst, the posted writeback burst (overlapping later work), the
+// on-chip decrypt/gather/evict latency, and the whole access.
+func (c *Controller) recordPhases(now, readDone, writeDone, done uint64,
+	leaf block.Leaf, ptype block.PathType) {
+	c.fl.Record(flight.Event{Start: now, End: readDone,
+		Kind: flight.KindPhaseRead, Sub: uint8(ptype)})
+	c.fl.Record(flight.Event{Start: readDone, End: writeDone,
+		Kind: flight.KindPhaseWrite, Sub: uint8(ptype)})
+	c.fl.Record(flight.Event{Start: readDone, End: done,
+		Kind: flight.KindPhaseDecrypt, Sub: uint8(ptype)})
+	c.fl.Record(flight.Event{Start: now, End: done, Arg: uint64(leaf),
+		Kind: flight.KindAccess, Sub: uint8(ptype)})
 }
 
 func (c *Controller) recordMigration(addr block.ID, level int) {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"iroram/internal/block"
+	"iroram/internal/flight"
 )
 
 // DWBSource is what IR-DWB needs from the LLC: the Ptr-register candidate
@@ -86,6 +87,14 @@ func (is *Issuer) record(slot uint64) {
 	st := is.c.st
 	st.PathsIssued++
 	st.QueueDepth.Observe(uint64(len(is.writeQ)))
+	// One path access per issue slot: if this slot's access armed the
+	// flight recorder, sample the on-chip queue depths alongside it and
+	// close the access's tracing window.
+	if fl := is.c.fl; fl.Armed() {
+		fl.Record(flight.Event{Start: slot, Arg: uint64(is.c.StashLen()),
+			Aux: uint64(len(is.writeQ)), Kind: flight.KindOccupancy})
+		fl.Disarm()
+	}
 	if is.t > 0 && is.haveIssued {
 		limit := is.lastIssue + is.t
 		if is.prevDone > limit {
@@ -293,6 +302,22 @@ func (is *Issuer) demandSlot(now uint64, j Job) uint64 {
 // the controller would have done in between — dummy insertion, posted-write
 // draining, IR-DWB conversion — exactly as in hardware.
 func (is *Issuer) ReadBlock(now uint64, addr block.ID) uint64 {
+	// Request spans have their own 1-in-N counter (one request spans many
+	// path accesses); sampled ones additionally accumulate the cycles the
+	// demand steps spent waiting for pacing slots.
+	if !is.c.fl.SampleRequest() {
+		return is.readBlock(now, addr, nil)
+	}
+	var wait uint64
+	done := is.readBlock(now, addr, &wait)
+	is.c.fl.Record(flight.Event{Start: now, End: done, Arg: uint64(addr),
+		Aux: wait, Kind: flight.KindRequest})
+	return done
+}
+
+// readBlock is ReadBlock's engine; wait, when non-nil, accumulates the
+// cycles the demand steps spent queued behind pacing slots.
+func (is *Issuer) readBlock(now uint64, addr block.ID, wait *uint64) uint64 {
 	j := Job{Addr: addr}
 	is.AdvanceTo(now)
 	if is.readForWQ(addr) {
@@ -308,6 +333,9 @@ func (is *Issuer) ReadBlock(now uint64, addr block.ID) uint64 {
 			return done
 		}
 		slot := is.demandSlot(t, j)
+		if wait != nil && slot > t {
+			*wait += slot - t
+		}
 		// Work run while waiting may have changed the block's state (a ρ
 		// install may have demoted it into the write queue, a PLB fill may
 		// have made it servable on-chip), so re-check before spending a

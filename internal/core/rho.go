@@ -115,6 +115,9 @@ func (c *Controller) rhoPathAccess(now uint64, leaf block.Leaf, target block.ID,
 	if c.refPipeline {
 		return c.rhoPathAccessReference(now, leaf, target, ptype)
 	}
+	// Small-tree accesses fill issue slots like main-tree ones, so they
+	// sample the flight recorder identically (see Controller.AttachFlight).
+	c.fl.SampleAccess()
 	r := c.rho
 	var readDone uint64
 	var runs []dram.Run
@@ -152,6 +155,9 @@ func (c *Controller) rhoPathAccess(now uint64, leaf block.Leaf, target block.ID,
 	c.st.Paths.Add(ptype, r.nPathBlocks, r.nPathBlocks)
 	done = readDone + c.o.OnChipLatency
 	c.st.PathLatency[ptype].Observe(done - now)
+	if c.fl.Armed() {
+		c.recordPhases(now, readDone, writeDone, done, leaf, ptype)
+	}
 	r.SmallPaths++
 	return found, done
 }

@@ -20,6 +20,7 @@ import (
 	"math/bits"
 
 	"iroram/internal/config"
+	"iroram/internal/flight"
 )
 
 // Access is one 64 B block transfer.
@@ -99,7 +100,19 @@ type Model struct {
 	chCount    []uint64 // per-channel access counts for posted-write drains
 	runScratch []Run    // ServicePath's run list when no PathSched is used
 	scheds     []*PathSched
+
+	// fl, when non-nil, receives per-run service events and posted-write
+	// drain events for accesses the recorder has armed (see AttachFlight).
+	fl *flight.Recorder
 }
+
+// AttachFlight wires a flight recorder into the run-length service path:
+// while the recorder is armed, ServiceRuns records one event per run
+// (row, length, hit/miss) and posted-write drains record one event per
+// busy channel. The per-address legacy paths (ServiceBatch/PostWrites)
+// are not traced — run-length service is the production pipeline.
+// Recording only observes; timing and statistics are unchanged.
+func (m *Model) AttachFlight(fl *flight.Recorder) { m.fl = fl }
 
 // New builds a model from the configuration. It panics on invalid geometry
 // (callers validate configs up front; see config.System.Validate).

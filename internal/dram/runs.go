@@ -1,6 +1,10 @@
 package dram
 
-import "fmt"
+import (
+	"fmt"
+
+	"iroram/internal/flight"
+)
 
 // This file implements the run-length path service (PR 7). The subtree data
 // layout guarantees that a path's physical addresses arrive in long
@@ -102,13 +106,15 @@ func (m *Model) ServiceRuns(now uint64, runs []Run, write bool) uint64 {
 	// writes through the Model pointer cost measurably more.
 	pre, wr, rcdcas, burst := m.t.pre, m.t.wr, m.t.rcd+m.t.cas, m.t.burst
 	minBus := now + m.t.cas
+	armed := m.fl.Armed()
 	for i := range runs {
 		r := &runs[i]
 		ch := &m.channels[r.Ch]
 		b := &ch.banks[r.Bank]
 		n := uint64(r.Count)
 		total += n
-		if b.openRow == r.Row {
+		rowHit := b.openRow == r.Row
+		if rowHit {
 			hits += n
 		} else {
 			// Row transition once per run; the n-1 follow-up transfers hit
@@ -142,6 +148,15 @@ func (m *Model) ServiceRuns(now uint64, runs []Run, write bool) uint64 {
 		if finish > done {
 			done = finish
 		}
+		if armed {
+			sub := uint8(0)
+			if rowHit {
+				sub = 1
+			}
+			m.fl.Record(flight.Event{Start: busStart, End: finish,
+				Arg: r.Row, Aux: n, Kind: flight.KindDramRun,
+				Sub: sub, Ch: r.Ch, Bank: r.Bank})
+		}
 	}
 	m.stats.RowHits += hits
 	m.stats.RowMisses += misses
@@ -174,6 +189,7 @@ func (m *Model) PostWriteRuns(now uint64, runs []Run) uint64 {
 // earlier than now and returns when the last channel goes idle.
 func (m *Model) drainCounts(now uint64) uint64 {
 	done := now
+	armed := m.fl.Armed()
 	for c := range m.channels {
 		n := m.chCount[c]
 		if n == 0 {
@@ -190,6 +206,10 @@ func (m *Model) drainCounts(now uint64) uint64 {
 		m.stats.RowHits += n // write phases target the rows the read opened
 		if ch.freeAt > done {
 			done = ch.freeAt
+		}
+		if armed {
+			m.fl.Record(flight.Event{Start: start, End: ch.freeAt,
+				Aux: n, Kind: flight.KindDramDrain, Ch: uint16(c)})
 		}
 	}
 	return done

@@ -15,8 +15,11 @@ import (
 // SchemaVersion is the JSONL artifact schema version, bumped whenever a
 // Record field or a registered metric name changes meaning (additive
 // changes — new metric names — do not bump it; see docs/METRICS.md for the
-// compatibility policy).
-const SchemaVersion = 1
+// compatibility policy). Version 2: the `metrics` field became optional —
+// probe drivers (Fig 3/4/13 utilization, the co-run interference probe,
+// the Z-profile search) emit partial records without a registry snapshot,
+// where version 1 guaranteed every record carried one.
+const SchemaVersion = 2
 
 // Record is one JSONL artifact line: the full metric dump of one simulated
 // (figure, scheme, benchmark) cell. Field names and registered metric names
@@ -48,8 +51,15 @@ type Record struct {
 	ReadMPKI     float64 `json:"read_mpki"`
 	WriteMPKI    float64 `json:"write_mpki"`
 
+	// Value carries a probe driver's headline scalar when the cell's
+	// outcome is not a full run summary: the co-run interference factor,
+	// the Z-search candidate's background-eviction count. Zero (and
+	// omitted) for full records.
+	Value float64 `json:"value,omitempty"`
+
 	// Metrics is the cell's full registry snapshot (every oram_*, sim_*,
-	// llc_*, dram_* instrument of docs/METRICS.md).
+	// llc_*, dram_*, flight_* instrument of docs/METRICS.md). Absent on
+	// partial records from probe drivers (schema >= 2).
 	Metrics *metrics.Snapshot `json:"metrics,omitempty"`
 	// Epochs is the periodic time series, present only when the run was
 	// started with a non-zero epoch interval.
@@ -73,6 +83,26 @@ func NewRecord(figure, scheme, bench, label string, seed uint64, r sim.Result) R
 		WriteMPKI:    r.WriteMPKI(),
 		Metrics:      r.Metrics,
 		Epochs:       r.ORAM.Epochs,
+	}
+}
+
+// NewProbeRecord assembles a partial Record for a probe cell — one whose
+// driver reduces the run to a single scalar instead of keeping the full
+// sim.Result (the co-run interference factor, a Z-search candidate's
+// eviction count). Partial records carry identity, seed, request and
+// cycle counts plus the probe's headline value, but no metrics snapshot.
+func NewProbeRecord(figure, scheme, bench, label string, seed, requests,
+	cycles uint64, value float64) Record {
+	return Record{
+		Schema:    SchemaVersion,
+		Figure:    figure,
+		Scheme:    scheme,
+		Benchmark: bench,
+		Label:     label,
+		Seed:      seed,
+		Requests:  requests,
+		Cycles:    cycles,
+		Value:     value,
 	}
 }
 
@@ -142,22 +172,36 @@ func (l *ArtifactLog) WriteDir(dir string) error {
 	return nil
 }
 
-// emit appends one cell record to the options' artifact log, if one is
-// attached. Callers must invoke it only after the cell batch has completed,
-// in cell-index order, from the sweep's calling goroutine — never from
-// worker goroutines — so artifact bytes stay independent of Jobs.
+// emit appends one cell record to the options' artifact log and, when the
+// cell was traced, its flight trace to the flight log. Callers must invoke
+// it only after the cell batch has completed, in cell-index order, from
+// the sweep's calling goroutine — never from worker goroutines — so
+// artifact and trace bytes stay independent of Jobs.
 func (o Options) emit(scheme, bench, label string, r sim.Result) {
+	if o.Artifacts != nil {
+		o.Artifacts.Add(NewRecord(o.Figure, scheme, bench, label, o.Seed, r))
+	}
+	if o.Flight != nil && r.Flight != nil {
+		o.Flight.Add(FlightCell{Figure: o.Figure, Scheme: scheme,
+			Benchmark: bench, Label: label, Trace: r.Flight})
+	}
+}
+
+// emitProbe appends one partial record for a probe cell (see
+// NewProbeRecord). Same ordering contract as emit.
+func (o Options) emitProbe(scheme, bench, label string, requests, cycles uint64, value float64) {
 	if o.Artifacts == nil {
 		return
 	}
-	o.Artifacts.Add(NewRecord(o.Figure, scheme, bench, label, o.Seed, r))
+	o.Artifacts.Add(NewProbeRecord(o.Figure, scheme, bench, label,
+		o.Seed, requests, cycles, value))
 }
 
 // emitFlat appends records for a (variant × benchmark) flat batch laid out
 // variant-major (the ablation sweeps' shape), one label per variant. Same
 // ordering contract as emit.
 func (o Options) emitFlat(scheme string, benches, labels []string, flat []sim.Result) {
-	if o.Artifacts == nil {
+	if o.Artifacts == nil && o.Flight == nil {
 		return
 	}
 	nb := len(benches)

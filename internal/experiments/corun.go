@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"iroram/internal/config"
+	"iroram/internal/flight"
 	"iroram/internal/sim"
 	"iroram/internal/stats"
 	"iroram/internal/trace"
@@ -36,7 +37,7 @@ func CoRun(opts Options, pairs [][2]string) (*stats.Table, error) {
 
 	schemes := []config.Scheme{config.Baseline(), config.IROramScheme()}
 	np := len(pairs)
-	flat, err := mapCells(opts, len(schemes)*np, func(i int) (float64, error) {
+	flat, err := mapCells(opts, len(schemes)*np, func(i int) (coRunProbe, error) {
 		p := pairs[i%np]
 		return opts.interference(schemes[i/np], p[0], p[1])
 	})
@@ -44,12 +45,36 @@ func CoRun(opts Options, pairs [][2]string) (*stats.Table, error) {
 		return nil, err
 	}
 	for si, sch := range schemes {
-		t.AddSeries(sch.Name, flat[si*np:(si+1)*np])
+		vals := make([]float64, np)
+		for pi, p := range pairs {
+			probe := flat[si*np+pi]
+			vals[pi] = probe.factor
+			// The probe reduces three runs to one scalar, so the sidecar
+			// carries a partial record: the co-run's cycle count plus the
+			// interference factor as the headline value. The flight trace,
+			// when requested, covers the co-run (not the solos).
+			opts.emitProbe(sch.Name, p[0]+"+"+p[1], "",
+				probe.requests, probe.cycles, probe.factor)
+			if opts.Flight != nil && probe.trace != nil {
+				opts.Flight.Add(FlightCell{Figure: opts.Figure, Scheme: sch.Name,
+					Benchmark: p[0] + "+" + p[1], Trace: probe.trace})
+			}
+		}
+		t.AddSeries(sch.Name, vals)
 	}
 	return t, nil
 }
 
-func (o Options) interference(sch config.Scheme, a, b string) (float64, error) {
+// coRunProbe is one (scheme, pair) interference measurement: the factor
+// plus the co-run's raw cycle and request counts for the partial record,
+// and its flight trace when tracing is on.
+type coRunProbe struct {
+	factor           float64
+	cycles, requests uint64
+	trace            *flight.Trace
+}
+
+func (o Options) interference(sch config.Scheme, a, b string) (coRunProbe, error) {
 	half := o.Requests / 2
 	solo := func(bench string) (uint64, error) {
 		cfg := o.Base.WithScheme(sch)
@@ -66,28 +91,34 @@ func (o Options) interference(sch config.Scheme, a, b string) (float64, error) {
 	}
 	ta, err := solo(a)
 	if err != nil {
-		return 0, err
+		return coRunProbe{}, err
 	}
 	tb, err := solo(b)
 	if err != nil {
-		return 0, err
+		return coRunProbe{}, err
 	}
 	cfg := o.Base.WithScheme(sch)
 	cfg.Seed = o.Seed
 	s, err := sim.New(cfg)
 	if err != nil {
-		return 0, err
+		return coRunProbe{}, err
 	}
+	o.attachFlight(s)
 	ga, err := genFor(a, cfg.ORAM.DataBlocks(), cfg.Seed)
 	if err != nil {
-		return 0, err
+		return coRunProbe{}, err
 	}
 	gb, err := genFor(b, cfg.ORAM.DataBlocks(), cfg.Seed)
 	if err != nil {
-		return 0, err
+		return coRunProbe{}, err
 	}
 	mixed := s.Run(trace.NewMix(a+"+"+b, ga, gb), 2*half)
-	return float64(mixed.Cycles) / float64(ta+tb), nil
+	return coRunProbe{
+		factor:   float64(mixed.Cycles) / float64(ta+tb),
+		cycles:   mixed.Cycles,
+		requests: mixed.Requests,
+		trace:    mixed.Flight,
+	}, nil
 }
 
 // FutureWork evaluates the Section IV-D extension the paper defers: IR-ORAM

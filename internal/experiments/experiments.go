@@ -39,6 +39,7 @@ import (
 
 	"iroram/internal/cellcache"
 	"iroram/internal/config"
+	"iroram/internal/flight"
 	"iroram/internal/runner"
 	"iroram/internal/sim"
 	"iroram/internal/trace"
@@ -73,12 +74,25 @@ type Options struct {
 	// cell (see artifacts.go). Records are appended after each batch
 	// completes, in cell-index order on the calling goroutine, so the
 	// artifact bytes are identical for every Jobs value. Drivers whose
-	// cells do not produce a full sim.Result (the utilization snapshots of
-	// Fig 3/4/13, the co-run latency probe, zsearch) emit nothing.
+	// cells do not produce a full sim.Result — the utilization snapshots
+	// of Fig 3/4/13, the co-run latency probe, the Z-profile search —
+	// emit partial records (no metrics snapshot, see NewProbeRecord) so
+	// every figure has a sidecar.
 	Artifacts *ArtifactLog
 	// Figure labels the records emitted into Artifacts; the facade's
 	// Experiment dispatcher sets it to the experiment name.
 	Figure string
+
+	// Flight, when non-nil, collects one flight-recorder trace per
+	// simulated cell (same post-batch, cell-index-order append contract
+	// as Artifacts). FlightSample must also be non-zero for cells to be
+	// traced: each cell's System gets a private recorder sampling 1 in
+	// FlightSample path accesses into a ring of FlightCap events
+	// (flight.DefaultCapacity when zero). Tracing observes only — tables
+	// and artifact records are byte-identical with it on or off.
+	Flight       *FlightLog
+	FlightSample uint64
+	FlightCap    int
 
 	// EpochInterval, when non-zero, enables periodic epoch snapshots every
 	// EpochInterval issued paths in each cell's System (time series in the
@@ -252,8 +266,10 @@ func (o Options) cellFor(sch config.Scheme, bench string) cell {
 }
 
 // run simulates the cell directly: a fresh System and Generator per call,
-// so concurrent calls never share state.
-func (c cell) run(requests int, epochInterval uint64) (sim.Result, error) {
+// so concurrent calls never share state. flightSample non-zero attaches a
+// private flight recorder (ring capacity flightCap, DefaultCapacity when
+// zero) whose trace snapshot rides back on Result.Flight.
+func (c cell) run(requests int, epochInterval, flightSample uint64, flightCap int) (sim.Result, error) {
 	s, err := sim.New(c.cfg)
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("experiments: %s/%s: %w", c.cfg.Scheme.Name, c.bench, err)
@@ -263,6 +279,9 @@ func (c cell) run(requests int, epochInterval uint64) (sim.Result, error) {
 		return sim.Result{}, err
 	}
 	s.SetEpochInterval(epochInterval)
+	if flightSample > 0 {
+		s.AttachFlight(flight.New(flightCap, flightSample))
+	}
 	return s.Run(gen, requests), nil
 }
 
@@ -274,14 +293,14 @@ func (o Options) runCell(c cell) (sim.Result, error) {
 		o.Counters.Cells.Add(1)
 	}
 	if o.Cache == nil {
-		return c.run(o.Requests, o.EpochInterval)
+		return c.run(o.Requests, o.EpochInterval, o.FlightSample, o.FlightCap)
 	}
 	key := cellcache.Key(c.cfg, c.bench, o.Requests, o.EpochInterval)
 	if o.Counters != nil {
 		o.Counters.RecordKey(key)
 	}
 	res, hit, err := o.Cache.Do(key, func() (sim.Result, error) {
-		return c.run(o.Requests, o.EpochInterval)
+		return c.run(o.Requests, o.EpochInterval, o.FlightSample, o.FlightCap)
 	})
 	if hit && o.Counters != nil {
 		o.Counters.Hits.Add(1)

@@ -86,23 +86,31 @@ func Fig2(opts Options) (*stats.Table, error) {
 // random tail) under the given scheme and returns utilization-per-level
 // snapshots. Shared by Fig 3 (Baseline) and Fig 13 (IR-Alloc). The single
 // run goes through mapCells so it honors cancellation like every driver.
+// The run's full sim.Result rides along so the figure emits an artifact
+// record (and a flight trace, when tracing) like every grid driver.
 func utilizationTable(opts Options, sch config.Scheme, title string) (*stats.Table, error) {
-	snaps, err := mapCells(opts, 1, func(int) ([]sim.UtilSnapshot, error) {
+	type utilCell struct {
+		res   sim.Result
+		snaps []sim.UtilSnapshot
+	}
+	cells, err := mapCells(opts, 1, func(int) (utilCell, error) {
 		cfg := opts.Base.WithScheme(sch)
 		cfg.Seed = opts.Seed
 		s, err := sim.New(cfg)
 		if err != nil {
-			return nil, err
+			return utilCell{}, err
 		}
+		opts.attachFlight(s)
 		gen := trace.UtilizationTrace(cfg.ORAM.DataBlocks(), opts.Requests, opts.Seed)
-		_, out := s.RunWithSnapshots(gen, opts.Requests, 4)
-		return out, nil
+		res, out := s.RunWithSnapshots(gen, opts.Requests, 4)
+		return utilCell{res: res, snaps: out}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	opts.emit(sch.Name, cells[0].res.Name, "", cells[0].res)
 	t := stats.NewTable(title, levelRows(opts.Base.ORAM.Levels)...)
-	for _, sn := range snaps[0] {
+	for _, sn := range cells[0].snaps {
 		t.AddSeries(sn.Label, sn.Util)
 	}
 	return t, nil
@@ -121,25 +129,31 @@ func Fig4(opts Options) (*stats.Table, error) {
 	benches := []string{"gcc", "lbm", "random"}
 	t := stats.NewTable("Fig 4: space utilization per benchmark",
 		levelRows(opts.Base.ORAM.Levels)...)
-	utils, err := mapCells(opts, len(benches), func(i int) ([]float64, error) {
+	type utilCell struct {
+		res  sim.Result
+		util []float64
+	}
+	cells, err := mapCells(opts, len(benches), func(i int) (utilCell, error) {
 		cfg := opts.Base.WithScheme(config.Baseline())
 		cfg.Seed = opts.Seed
 		s, err := sim.New(cfg)
 		if err != nil {
-			return nil, err
+			return utilCell{}, err
 		}
+		opts.attachFlight(s)
 		gen, err := genFor(benches[i], cfg.ORAM.DataBlocks(), cfg.Seed)
 		if err != nil {
-			return nil, err
+			return utilCell{}, err
 		}
-		s.Run(gen, opts.Requests)
-		return s.Controller().Utilization(), nil
+		res := s.Run(gen, opts.Requests)
+		return utilCell{res: res, util: s.Controller().Utilization()}, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	for i, b := range benches {
-		t.AddSeries(b, utils[i])
+		opts.emit(config.Baseline().Name, b, "", cells[i].res)
+		t.AddSeries(b, cells[i].util)
 	}
 	return t, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"iroram/internal/config"
+	"iroram/internal/flight"
 )
 
 // SearchStep records one accepted move of the greedy Z search.
@@ -32,21 +33,46 @@ type SearchStep struct {
 // with a strict improvement test, which reproduces the sequential search's
 // result exactly.
 func ZSearch(opts Options) (config.ZProfile, []SearchStep, error) {
+	if opts.Figure == "" {
+		opts.Figure = "zsearch"
+	}
 	o := opts.Base.ORAM
 	base := config.Uniform(o.Levels, 4)
+	scheme := config.IRAllocScheme()
 
-	evaluate := func(prof config.ZProfile) (cycles, bgEvict uint64, err error) {
-		res, err := opts.runProfile(config.IRAllocScheme(), prof, "random")
+	type eval struct {
+		cycles   uint64
+		bg       uint64
+		requests uint64
+		trace    *flight.Trace
+	}
+	evaluate := func(prof config.ZProfile) (eval, error) {
+		res, err := opts.runProfile(scheme, prof, "random")
 		if err != nil {
-			return 0, 0, err
+			return eval{}, err
 		}
-		return res.Cycles, res.ORAM.BgEvictions, nil
+		return eval{cycles: res.Cycles, bg: res.ORAM.BgEvictions,
+			requests: res.Requests, trace: res.Flight}, nil
+	}
+	// The search reduces each evaluation to (cycles, evictions), so the
+	// sidecar carries partial records: one for the uniform baseline and one
+	// per accepted move, background evictions as the headline value. Flight
+	// traces, when requested, follow the same policy — only the baseline and
+	// the accepted moves export, appended here on the calling goroutine.
+	emitStep := func(label string, e eval) {
+		opts.emitProbe(scheme.Name, "random", label, e.requests, e.cycles, float64(e.bg))
+		if opts.Flight != nil && e.trace != nil {
+			opts.Flight.Add(FlightCell{Figure: opts.Figure, Scheme: scheme.Name,
+				Benchmark: "random", Label: label, Trace: e.trace})
+		}
 	}
 
-	baseCycles, baseBg, err := evaluate(base)
+	baseEval, err := evaluate(base)
 	if err != nil {
 		return nil, nil, err
 	}
+	emitStep("uniform", baseEval)
+	baseCycles, baseBg := baseEval.cycles, baseEval.bg
 	bgLimit := baseBg + baseBg*15/100
 	if bgLimit < baseBg+4 {
 		bgLimit = baseBg + 4 // headroom for near-zero baselines at small scale
@@ -58,18 +84,15 @@ func ZSearch(opts Options) (config.ZProfile, []SearchStep, error) {
 	if start := o.Levels - 6; start >= o.TopLevels {
 		cand := append(config.ZProfile(nil), current...)
 		cand[start] = 3
-		if cyc, bg, err := evaluate(cand); err != nil {
+		if e, err := evaluate(cand); err != nil {
 			return nil, nil, err
-		} else if bg <= bgLimit && cand.SpaceReductionVs(base, o.TopLevels) < 0.01 {
+		} else if e.bg <= bgLimit && cand.SpaceReductionVs(base, o.TopLevels) < 0.01 {
 			current = cand
-			baseCycles = cyc
+			baseCycles = e.cycles
+			emitStep(fmt.Sprintf("L%d=Z3", start), e)
 		}
 	}
 
-	type eval struct {
-		cycles uint64
-		bg     uint64
-	}
 	var steps []SearchStep
 	for iter := 0; iter < 4*o.Levels; iter++ {
 		// Enumerate the candidate moves. Shrink middle levels top-down:
@@ -93,8 +116,7 @@ func ZSearch(opts Options) (config.ZProfile, []SearchStep, error) {
 			cands = append(cands, candidate{level: l, prof: cand})
 		}
 		evals, err := mapCells(opts, len(cands), func(i int) (eval, error) {
-			cyc, bg, err := evaluate(cands[i].prof)
-			return eval{cycles: cyc, bg: bg}, err
+			return evaluate(cands[i].prof)
 		})
 		if err != nil {
 			return nil, nil, err
@@ -114,6 +136,7 @@ func ZSearch(opts Options) (config.ZProfile, []SearchStep, error) {
 		best := cands[bestIdx]
 		current[best.level]--
 		baseCycles = evals[bestIdx].cycles
+		emitStep(fmt.Sprintf("L%d=Z%d", best.level, current[best.level]), evals[bestIdx])
 		steps = append(steps, SearchStep{
 			Level: best.level, NewZ: current[best.level],
 			Cycles: evals[bestIdx].cycles, BgEvict: evals[bestIdx].bg,

@@ -56,6 +56,20 @@ func (s *System) registerMetrics() {
 	r.CounterFunc("dram_busy_cycles", "cycles",
 		"summed per-channel DRAM busy time in CPU cycles",
 		func() uint64 { return s.mem.Stats().BusyCPUCycles })
+
+	// Flight-recorder coverage counters. Registered unconditionally — the
+	// registry's name set must not depend on whether a recorder is
+	// attached (docs/METRICS.md invariance contract); with no recorder the
+	// closures read a nil recorder's zeros.
+	r.CounterFunc("flight_events_recorded", "events",
+		"flight-recorder events recorded (including later overwritten ones)",
+		func() uint64 { return s.flight.Recorded() })
+	r.CounterFunc("flight_events_dropped", "events",
+		"flight-recorder events overwritten by ring wrap-around",
+		func() uint64 { return s.flight.Dropped() })
+	r.CounterFunc("flight_accesses_sampled", "paths",
+		"path accesses that armed the flight recorder (1-in-N sampling)",
+		func() uint64 { return s.flight.SampledAccesses() })
 }
 
 // Metrics returns the system's metrics registry. Snapshots taken from it are

@@ -37,6 +37,7 @@ import (
 	"iroram/internal/config"
 	"iroram/internal/core"
 	"iroram/internal/dram"
+	"iroram/internal/flight"
 	"iroram/internal/metrics"
 	"iroram/internal/rng"
 	"iroram/internal/trace"
@@ -66,6 +67,24 @@ type System struct {
 	// zero-allocation contract of the access path.
 	missLatency      metrics.Hist
 	outstandingDepth metrics.Hist
+
+	// flight, when non-nil, is the attached cycle-domain flight recorder;
+	// Result captures its snapshot (see AttachFlight).
+	flight *flight.Recorder
+}
+
+// AttachFlight wires a flight recorder into the system: the controller
+// records sampled access/phase spans, the DRAM model records per-run
+// service and drain events, and Result carries a trace snapshot in
+// Result.Flight. Attach before the first Step; the recorder shares the
+// System's single-goroutine contract. Recording only observes — every
+// counter and histogram is identical with tracing on or off — and the
+// flight_* drop/coverage metrics registered in New read the recorder
+// lazily, so the registry's name set does not depend on attachment.
+func (s *System) AttachFlight(fl *flight.Recorder) {
+	s.flight = fl
+	s.ctrl.AttachFlight(fl)
+	s.mem.AttachFlight(fl)
 }
 
 // llcDWB adapts the LLC to the controller's DWBSource interface. In
@@ -264,6 +283,11 @@ type Result struct {
 	// Metrics is the full registry snapshot at capture time — the record
 	// the JSONL artifact emitter serializes (docs/METRICS.md).
 	Metrics *metrics.Snapshot
+
+	// Flight is the flight-recorder trace snapshot, nil unless a recorder
+	// was attached (AttachFlight). Like Metrics it is immutable: the
+	// snapshot copies the ring, so later recording never mutates it.
+	Flight *flight.Trace
 }
 
 // Result captures the current counters without consuming more trace.
@@ -284,6 +308,7 @@ func (s *System) Result(name string) Result {
 		DRAM:         s.mem.Stats(),
 		LLC:          s.llc.Stats(),
 		Metrics:      s.reg.Snapshot(),
+		Flight:       s.flight.Snapshot(),
 	}
 }
 

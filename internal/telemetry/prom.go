@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"iroram/internal/metrics"
+)
+
+// PromText renders a metrics snapshot in the Prometheus text exposition
+// format (version 0.0.4). descs, when non-nil, supplies the HELP/TYPE
+// headers (pass Registry.Descs()); names absent from descs still render,
+// headerless. Output is deterministic: families sort by name, and the
+// bytes are a pure function of (descs, snap), so equal snapshots render
+// identically.
+//
+// Counters and gauges map directly. Power-of-two histograms become native
+// Prometheus histograms (cumulative le buckets plus _sum and _count);
+// linear histograms become one series per index under an "index" label
+// plus a _total counter. Like Server.Publish, rendering happens on the
+// caller's goroutine — hand the result to Server.PublishProm and the
+// server holds only bytes.
+func PromText(descs []metrics.Desc, snap *metrics.Snapshot) []byte {
+	help := map[string]metrics.Desc{}
+	for _, d := range descs {
+		help[d.Name] = d
+	}
+	var out []byte
+	header := func(name, promType string) {
+		if d, ok := help[name]; ok && d.Help != "" {
+			out = append(out, "# HELP "+name+" "+d.Help+"\n"...)
+		}
+		out = append(out, "# TYPE "+name+" "+promType+"\n"...)
+	}
+
+	for _, name := range sortedKeys(snap.Counters) {
+		header(name, "counter")
+		out = append(out, name+" "+strconv.FormatUint(snap.Counters[name], 10)+"\n"...)
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		header(name, "gauge")
+		out = append(out, name+" "+strconv.FormatFloat(snap.Gauges[name], 'g', -1, 64)+"\n"...)
+	}
+	for _, name := range sortedKeys(snap.Histograms) {
+		h := snap.Histograms[name]
+		header(name, "histogram")
+		cum := uint64(0)
+		for _, b := range h.Buckets {
+			cum += b.N
+			out = append(out, fmt.Sprintf("%s_bucket{le=\"%d\"} %d\n", name, b.Hi, cum)...)
+		}
+		out = append(out, fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)...)
+		out = append(out, fmt.Sprintf("%s_sum %d\n", name, h.Sum)...)
+		out = append(out, fmt.Sprintf("%s_count %d\n", name, h.Count)...)
+	}
+	for _, name := range sortedKeys(snap.Linear) {
+		l := snap.Linear[name]
+		header(name, "counter")
+		for i, n := range l.Counts {
+			if n == 0 {
+				continue
+			}
+			out = append(out, fmt.Sprintf("%s{index=\"%d\"} %d\n", name, i, n)...)
+		}
+		header(name+"_total", "counter")
+		out = append(out, fmt.Sprintf("%s_total %d\n", name, l.Total)...)
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"iroram/internal/metrics"
+)
+
+// promFixture builds a registry exercising every instrument kind and
+// returns its descs and snapshot.
+func promFixture() ([]metrics.Desc, *metrics.Snapshot) {
+	r := metrics.NewRegistry()
+	c := uint64(7)
+	r.Counter("oram_paths_issued", "paths", "paths issued", &c)
+	r.GaugeFunc("sim_stash_occupancy", "blocks", "stash size", func() float64 { return 3.5 })
+	h := &metrics.Hist{}
+	h.Observe(1)
+	h.Observe(5)
+	r.Histogram("sim_queue_depth", "entries", "demand queue depth", h)
+	l := metrics.NewLinearHist(4)
+	l.Add(2)
+	l.Add(2)
+	r.LinearHistogram("oram_evict_level", "evictions", "evictions per level", l)
+	return r.Descs(), r.Snapshot()
+}
+
+func TestPromTextRendersEveryKind(t *testing.T) {
+	descs, snap := promFixture()
+	out := string(PromText(descs, snap))
+	for _, want := range []string{
+		"# HELP oram_paths_issued paths issued",
+		"# TYPE oram_paths_issued counter",
+		"oram_paths_issued 7",
+		"# TYPE sim_stash_occupancy gauge",
+		"sim_stash_occupancy 3.5",
+		"# TYPE sim_queue_depth histogram",
+		"sim_queue_depth_bucket{le=\"+Inf\"} 2",
+		"sim_queue_depth_sum 6",
+		"sim_queue_depth_count 2",
+		"oram_evict_level{index=\"2\"} 2",
+		"oram_evict_level_total 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestPromTextDeterministic renders the same snapshot twice; map iteration
+// must not leak into the output order.
+func TestPromTextDeterministic(t *testing.T) {
+	descs, snap := promFixture()
+	a, b := PromText(descs, snap), PromText(descs, snap)
+	if string(a) != string(b) {
+		t.Fatalf("renders differ:\n%s\n--\n%s", a, b)
+	}
+}
+
+// TestPromAndHealthEndpoints checks the new routes: /healthz always
+// answers ok, /metrics serves the placeholder then the published document
+// with the Prometheus content type.
+func TestPromAndHealthEndpoints(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	ct, body := get(t, "http://"+s.Addr()+"/healthz")
+	if string(body) != "ok\n" {
+		t.Errorf("/healthz body = %q, want ok", body)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/healthz Content-Type = %q, want text/plain", ct)
+	}
+
+	ct, body = get(t, "http://"+s.Addr()+"/metrics")
+	if ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	if !strings.HasPrefix(string(body), "#") {
+		t.Errorf("/metrics placeholder = %q, want a comment line", body)
+	}
+
+	descs, snap := promFixture()
+	s.PublishProm(PromText(descs, snap))
+	_, body = get(t, "http://"+s.Addr()+"/metrics")
+	if !strings.Contains(string(body), "oram_paths_issued 7") {
+		t.Errorf("/metrics after publish = %q, want published counters", body)
+	}
+}

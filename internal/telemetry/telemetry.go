@@ -1,9 +1,11 @@
-// Package telemetry serves live run snapshots over HTTP as expvar-style
-// JSON. The server owns no simulation state and never touches a System: the
-// driver publishes pre-serialized snapshots from its own goroutine (the
-// serialized progress-callback path), and HTTP handlers only copy the last
-// published payload. That keeps the single-goroutine-per-System contract
-// intact — the only synchronization is the server's own payload mutex.
+// Package telemetry serves live run snapshots over HTTP: expvar-style JSON
+// at / and /snapshot, a Prometheus text-format view at /metrics, and a
+// liveness probe at /healthz. The server owns no simulation state and never
+// touches a System: the driver publishes pre-serialized snapshots from its
+// own goroutine (the serialized progress-callback path), and HTTP handlers
+// only copy the last published payload. That keeps the
+// single-goroutine-per-System contract intact — the only synchronization is
+// the server's own payload mutex.
 package telemetry
 
 import (
@@ -14,14 +16,16 @@ import (
 	"time"
 )
 
-// Server publishes JSON snapshots at GET / (and /snapshot). The zero value
-// is not usable; construct with Start.
+// Server publishes JSON snapshots at GET / (and /snapshot), a Prometheus
+// text view at /metrics and "ok" at /healthz. The zero value is not usable;
+// construct with Start.
 type Server struct {
 	ln  net.Listener
 	srv *http.Server
 
 	mu      sync.Mutex
 	payload []byte
+	prom    []byte
 }
 
 // Start listens on addr (e.g. ":8080" or "127.0.0.1:0") and serves the last
@@ -32,10 +36,13 @@ func Start(addr string) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, payload: []byte("{}\n")}
+	s := &Server{ln: ln, payload: []byte("{}\n"),
+		prom: []byte("# no snapshot published yet\n")}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handle)
 	mux.HandleFunc("/snapshot", s.handle)
+	mux.HandleFunc("/metrics", s.handleProm)
+	mux.HandleFunc("/healthz", s.handleHealth)
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
 	return s, nil
@@ -60,6 +67,15 @@ func (s *Server) Publish(v any) error {
 	return nil
 }
 
+// PublishProm installs b as the Prometheus text document served at
+// /metrics. Render it with PromText on the caller's goroutine — like
+// Publish, the server retains only the bytes.
+func (s *Server) PublishProm(b []byte) {
+	s.mu.Lock()
+	s.prom = b
+	s.mu.Unlock()
+}
+
 // Close stops the listener. In-flight handlers finish against their own
 // payload copy.
 func (s *Server) Close() error { return s.srv.Close() }
@@ -70,4 +86,17 @@ func (s *Server) handle(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(b) //nolint:errcheck // best-effort response
+}
+
+func (s *Server) handleProm(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	b := s.prom
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(b) //nolint:errcheck // best-effort response
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n")) //nolint:errcheck // best-effort response
 }

@@ -1,8 +1,11 @@
 package iroram
 
 import (
+	"io"
+
 	"iroram/internal/config"
 	"iroram/internal/experiments"
+	"iroram/internal/flight"
 	"iroram/internal/metrics"
 	"iroram/internal/obliv"
 	"iroram/internal/runner"
@@ -206,6 +209,47 @@ type ArtifactLog = experiments.ArtifactLog
 func NewArtifactRecord(figure, scheme, bench, label string, seed uint64, r Result) ArtifactRecord {
 	return experiments.NewRecord(figure, scheme, bench, label, seed, r)
 }
+
+// FlightRecorder is the cycle-domain flight recorder: a fixed-capacity ring
+// of cycle-stamped events sampled from the simulation. Attach one to a
+// System before its first Step; a nil recorder is valid and inert, so the
+// steady-state cost when tracing is off is a single branch (and zero
+// allocations either way — `make alloccheck` enforces both).
+type FlightRecorder = flight.Recorder
+
+// NewFlightRecorder returns a recorder holding up to capacity events
+// (0 means the default, 16384) that samples one in every sampleEvery path
+// accesses (0 means every access). When the ring wraps, the oldest events
+// are dropped and counted; see Trace.Dropped in the export.
+func NewFlightRecorder(capacity int, sampleEvery uint64) *FlightRecorder {
+	return flight.New(capacity, sampleEvery)
+}
+
+// FlightTrace is an immutable snapshot of a recorder's ring, as captured
+// into Result.Flight when a traced run completes.
+type FlightTrace = flight.Trace
+
+// FlightProcess names one trace for export: each process becomes one
+// Perfetto process row with the controller phases and DRAM channels as its
+// threads.
+type FlightProcess = flight.Process
+
+// WriteFlightTrace writes the processes as one Chrome trace-event JSON
+// document (loadable at https://ui.perfetto.dev). Output bytes are a pure
+// function of the traces, so identical runs export identical files.
+func WriteFlightTrace(w io.Writer, procs []FlightProcess) error {
+	return flight.Write(w, procs)
+}
+
+// FlightCell pairs one simulated cell's identity with its trace snapshot,
+// as accumulated by a FlightLog during a sweep.
+type FlightCell = experiments.FlightCell
+
+// FlightLog accumulates flight traces during a sweep and writes them as one
+// <figure>.trace.json file per figure; attach one to
+// ExperimentOptions.Flight alongside an ArtifactLog. Single-goroutine, like
+// everything on the driver's calling path.
+type FlightLog = experiments.FlightLog
 
 // ObliviousStoreConfig sizes a functional oblivious store.
 type ObliviousStoreConfig = obliv.Config

@@ -70,9 +70,9 @@ type FigureRun struct {
 // internal/experiments package doc for the determinism argument.
 type Sweep struct {
 	// Options scales every figure. Its Cache, Limit, Counters and Progress
-	// fields are managed by Run and must be left nil; Artifacts, when
-	// non-nil, receives every figure's records in Names order regardless of
-	// execution order.
+	// fields are managed by Run and must be left nil; Artifacts and Flight,
+	// when non-nil, receive every figure's records and traces in Names order
+	// regardless of execution order.
 	Options ExperimentOptions
 	// Names lists the experiments to run, in delivery order. Empty means
 	// FigureNames. Each must be a name Experiment accepts.
@@ -153,6 +153,7 @@ func (s Sweep) runOverlapped(names []string, cache *cellcache.Cache, deliver fun
 	var progressMu sync.Mutex
 	results := make([]FigureRun, len(names))
 	logs := make([]*ArtifactLog, len(names))
+	flogs := make([]*FlightLog, len(names))
 	counters := make([]*CellCounters, len(names))
 	var wg sync.WaitGroup
 	for i, name := range names {
@@ -162,6 +163,10 @@ func (s Sweep) runOverlapped(names []string, cache *cellcache.Cache, deliver fun
 		if opts.Artifacts != nil {
 			logs[i] = &ArtifactLog{}
 			opts.Artifacts = logs[i]
+		}
+		if opts.Flight != nil {
+			flogs[i] = &FlightLog{}
+			opts.Flight = flogs[i]
 		}
 		if s.ProgressFor != nil {
 			// Serialize progress observation across figures so stderr
@@ -234,6 +239,11 @@ func (s Sweep) runOverlapped(names []string, cache *cellcache.Cache, deliver fun
 		if s.Options.Artifacts != nil && logs[i] != nil {
 			for _, rec := range logs[i].Records() {
 				s.Options.Artifacts.Add(rec)
+			}
+		}
+		if s.Options.Flight != nil && flogs[i] != nil {
+			for _, c := range flogs[i].Cells() {
+				s.Options.Flight.Add(c)
 			}
 		}
 		deliver(results[i])
